@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ablation — the traversal unit's pipelining ideas (paper §IV-A
+ * ideas II and III): decoupled marker/tracer vs a coupled engine, and
+ * untagged tracing vs a tag-slot-limited tracer.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "driver/gc_lab.h"
+
+int
+main()
+{
+    using namespace hwgc;
+    bench::banner("Ablation: decoupling and untagged tracing",
+                  "both ideas are needed for the unit's bandwidth");
+
+    std::printf("  %-10s %12s %12s %12s %12s\n", "benchmark",
+                "baseline", "coupled", "tagged(4)", "tagged(16)");
+    for (const auto &profile : workload::dacapoSuite()) {
+        auto run = [&profile](bool decoupled, unsigned tag_slots) {
+            driver::LabConfig config;
+            config.runSw = false;
+            config.hwgc.decoupledTracer = decoupled;
+            config.hwgc.tracerTagSlots = tag_slots;
+            driver::GcLab lab(profile, config);
+            lab.run(2);
+            return bench::msFromCycles(lab.avgHwMarkCycles());
+        };
+        const double base = run(true, 0);
+        const double coupled = run(false, 0);
+        const double tagged4 = run(true, 4);
+        const double tagged16 = run(true, 16);
+        std::printf("  %-10s %9.3f ms %9.3f ms %9.3f ms %9.3f ms\n",
+                    profile.name.c_str(), base, coupled, tagged4,
+                    tagged16);
+        std::printf("  %-10s %12s %10.2fx %10.2fx %10.2fx\n", "", "",
+                    coupled / base, tagged4 / base, tagged16 / base);
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation — bidirectional vs conventional (TIB) object layout on
+ * the traversal unit (paper §IV-A idea I / Fig 6).
+ *
+ * The paper: the conventional layout "adds two additional memory
+ * accesses per object in a cacheless system", while the bidirectional
+ * layout "identifies reference fields without any extra accesses" and
+ * trades scattered reads for a unit-stride copy.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "driver/gc_lab.h"
+
+int
+main()
+{
+    using namespace hwgc;
+    bench::banner("Ablation: bidirectional vs TIB layout",
+                  "TIB layout costs extra dependent reads per object");
+
+    std::printf("  %-10s %12s %12s %8s %14s\n", "benchmark",
+                "bidir mark", "TIB mark", "slowdown", "extra reads");
+    for (const auto &profile : workload::dacapoSuite()) {
+        driver::LabConfig bidir;
+        bidir.runSw = false;
+        driver::GcLab bidir_lab(profile, bidir);
+        bidir_lab.run(2);
+
+        driver::LabConfig tib;
+        tib.runSw = false;
+        tib.hwgc.layout = runtime::Layout::Tib;
+        tib.heap.layout = runtime::Layout::Tib;
+        driver::GcLab tib_lab(profile, tib);
+        tib_lab.run(2);
+
+        const double fast = bidir_lab.avgHwMarkCycles();
+        const double slow = tib_lab.avgHwMarkCycles();
+        std::printf("  %-10s %9.3f ms %9.3f ms %7.2fx %14llu\n",
+                    profile.name.c_str(), bench::msFromCycles(fast),
+                    bench::msFromCycles(slow), slow / fast,
+                    (unsigned long long)
+                        tib_lab.device().tracer().tibExtraReads());
+    }
+    return 0;
+}

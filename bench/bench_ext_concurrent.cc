@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Extension bench — concurrent marking (paper §IV-D, proposed but not
+ * prototyped in the paper): barrier traffic, mark-time dilation and
+ * floating garbage as functions of mutator churn.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "driver/concurrent.h"
+#include "workload/dacapo.h"
+
+int
+main()
+{
+    using namespace hwgc;
+    bench::banner("Extension: concurrent marking (Sec IV-D)",
+                  "write barrier via the root region; snapshot "
+                  "invariant; floating garbage vs churn");
+
+    const auto profile = workload::dacapoProfile("avrora");
+
+    std::printf("  %-12s %10s %10s %10s %12s %10s\n", "mutations",
+                "mark", "barrier", "lost", "floating", "marked");
+    for (const std::uint64_t mutations : {0ull, 500ull, 2000ull,
+                                          8000ull}) {
+        mem::PhysMem phys_mem;
+        runtime::Heap heap(phys_mem);
+        workload::GraphBuilder builder(heap, profile.graph);
+        builder.build();
+        heap.clearAllMarks();
+        core::HwgcDevice device(phys_mem, heap.pageTable(),
+                                core::HwgcConfig{});
+
+        driver::ConcurrentParams params;
+        params.totalMutations = mutations;
+        params.seed = 4242;
+        driver::ConcurrentMarkLab lab(heap, builder, device, params);
+        const auto result = lab.run();
+        std::printf("  %-12llu %7.3f ms %10llu %10llu %12llu %10llu\n",
+                    (unsigned long long)mutations,
+                    bench::msFromCycles(double(result.markCycles)),
+                    (unsigned long long)result.barrierEntries,
+                    (unsigned long long)result.lostObjects,
+                    (unsigned long long)result.floatingGarbage,
+                    (unsigned long long)result.markedAtEnd);
+    }
+    std::printf("\n  (lost must be 0 at every churn level: the "
+                "snapshot invariant)\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig 1a — fraction of CPU time spent in GC pauses per benchmark.
+ *
+ * The paper: "workloads can spend up to 35% of their time performing
+ * garbage collection". We measure software-GC pause durations with
+ * the CPU cost model and combine them with each profile's modeled
+ * mutator time between pauses.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "driver/gc_lab.h"
+
+int
+main()
+{
+    using namespace hwgc;
+    bench::banner("Fig 1a: CPU time spent in GC pauses",
+                  "up to 35% of CPU time goes to stop-the-world GC");
+
+    std::printf("  %-10s %10s %12s %10s\n", "benchmark", "pauses",
+                "avg pause", "GC share");
+    for (const auto &profile : workload::dacapoSuite()) {
+        driver::LabConfig config;
+        config.runHw = false;
+        driver::GcLab lab(profile, config);
+        const auto &results = lab.run();
+
+        double gc_ms = 0.0;
+        for (const auto &r : results) {
+            gc_ms += bench::msFromCycles(
+                double(r.swMarkCycles + r.swSweepCycles));
+        }
+        const double mutator_ms =
+            profile.mutatorMsPerGC * double(results.size());
+        const double share = gc_ms / (gc_ms + mutator_ms);
+        std::printf("  %-10s %10zu %10.2f ms %9.1f%%\n",
+                    profile.name.c_str(), results.size(),
+                    gc_ms / double(results.size()), share * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig 1b — CDF of query latencies in lusearch at 10 QPS over 10K
+ * queries (1K warm-up discarded), with coordinated omission.
+ *
+ * The paper: "in the absence of GC, most requests complete in a short
+ * amount of time, but GC pauses introduce stragglers that can be two
+ * orders of magnitude longer than the average request".
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "driver/gc_lab.h"
+#include "workload/latency.h"
+
+int
+main()
+{
+    using namespace hwgc;
+    bench::banner("Fig 1b: lusearch query-latency CDF",
+                  "GC stragglers 2 orders of magnitude over the median");
+
+    // Measure real pause durations with the software collector.
+    const auto profile = workload::dacapoProfile("lusearch");
+    driver::LabConfig config;
+    config.runHw = false;
+    driver::GcLab lab(profile, config);
+    std::vector<double> pause_ms;
+    for (const auto &r : lab.run()) {
+        pause_ms.push_back(bench::msFromCycles(
+            double(r.swMarkCycles + r.swSweepCycles)));
+    }
+
+    workload::LatencyParams params;
+    const auto with_gc = workload::runLatencyExperiment(
+        params, pause_ms, profile.mutatorMsPerGC);
+    const auto no_gc = workload::runLatencyExperiment(params, {}, 0.0);
+
+    std::printf("  measured SW pauses (ms):");
+    for (const double p : pause_ms) {
+        std::printf(" %.2f", p);
+    }
+    std::printf("\n\n  %-12s %12s %12s\n", "quantile", "no GC",
+                "with GC");
+    for (const double q : {0.50, 0.90, 0.99, 0.999, 0.9999}) {
+        std::printf("  p%-11g %9.2f ms %9.2f ms\n", q * 100.0,
+                    no_gc.percentile(q), with_gc.percentile(q));
+    }
+    std::printf("  %-12s %9.2f ms %9.2f ms\n", "max", no_gc.maxMs(),
+                with_gc.maxMs());
+
+    unsigned near = 0;
+    for (const auto &s : with_gc.samples) {
+        near += s.nearPause;
+    }
+    std::printf("\n  tail/median with GC: %.0fx\n",
+                with_gc.maxMs() / with_gc.percentile(0.5));
+    std::printf("  queries near a pause: %u of %zu (%.2f%%)\n", near,
+                with_gc.samples.size(),
+                100.0 * near / double(with_gc.samples.size()));
+    return 0;
+}

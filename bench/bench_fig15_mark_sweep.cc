@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig 15 — GC performance, Rocket CPU vs GC unit, per benchmark.
+ *
+ * The paper: "On average, the GC Unit outperforms the CPU by a factor
+ * of 4.2x for mark and 1.9x for sweep" (baseline: 2 sweepers, 1,024
+ * entry mark queue, 16 marker slots, 32-entry TLBs, 128-entry L2 TLB,
+ * DDR3-2000 with FR-FCFS).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "driver/gc_lab.h"
+
+int
+main()
+{
+    using namespace hwgc;
+    bench::banner("Fig 15: GC performance (CPU vs GC unit)",
+                  "mark 4.2x, sweep 1.9x on average");
+
+    std::vector<double> mark_ratios, sweep_ratios;
+    std::printf("  (a) Mark phase\n");
+    std::printf("  %-10s %13s %13s %8s\n", "benchmark", "Rocket CPU",
+                "GC Unit", "speedup");
+
+    struct Row
+    {
+        std::string name;
+        double sw_mark, hw_mark, sw_sweep, hw_sweep;
+    };
+    std::vector<Row> rows;
+    for (const auto &profile : workload::dacapoSuite()) {
+        driver::GcLab lab(profile);
+        lab.run();
+        Row r;
+        r.name = profile.name;
+        r.sw_mark = bench::msFromCycles(lab.avgSwMarkCycles());
+        r.hw_mark = bench::msFromCycles(lab.avgHwMarkCycles());
+        r.sw_sweep = bench::msFromCycles(lab.avgSwSweepCycles());
+        r.hw_sweep = bench::msFromCycles(lab.avgHwSweepCycles());
+        rows.push_back(r);
+        std::printf("  %-10s %10.3f ms %10.3f ms %7.2fx\n",
+                    r.name.c_str(), r.sw_mark, r.hw_mark,
+                    r.sw_mark / r.hw_mark);
+        mark_ratios.push_back(r.sw_mark / r.hw_mark);
+    }
+    std::printf("  %-10s %27s %7.2fx\n", "geomean", "",
+                bench::geomean(mark_ratios));
+
+    std::printf("\n  (b) Sweep phase\n");
+    std::printf("  %-10s %13s %13s %8s\n", "benchmark", "Rocket CPU",
+                "GC Unit", "speedup");
+    for (const auto &r : rows) {
+        std::printf("  %-10s %10.3f ms %10.3f ms %7.2fx\n",
+                    r.name.c_str(), r.sw_sweep, r.hw_sweep,
+                    r.sw_sweep / r.hw_sweep);
+        sweep_ratios.push_back(r.sw_sweep / r.hw_sweep);
+    }
+    std::printf("  %-10s %27s %7.2fx\n", "geomean", "",
+                bench::geomean(sweep_ratios));
+
+    std::printf("\n  mark share of SW GC time:\n");
+    for (const auto &r : rows) {
+        std::printf("  %-10s %6.1f%%\n", r.name.c_str(),
+                    100.0 * r.sw_mark / (r.sw_mark + r.sw_sweep));
+    }
+    return 0;
+}

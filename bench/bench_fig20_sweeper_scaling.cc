@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig 20 — scaling the number of block sweepers, reported as speedup
+ * relative to the software sweep.
+ *
+ * The paper: "we scale linearly to 2 sweepers but beyond this point,
+ * speed-ups start to reduce. At 8 sweepers, the contention on the
+ * memory system starts to outweigh the benefits ... 4 sweepers
+ * outperform the CPU by 2-3x".
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "driver/gc_lab.h"
+
+int
+main()
+{
+    using namespace hwgc;
+    bench::banner("Fig 20: block sweeper scaling",
+                  "linear to 2 sweepers, flattening by 8; 4 sweepers "
+                  "beat the CPU 2-3x");
+
+    std::printf("  %-10s", "benchmark");
+    for (unsigned s : {1u, 2u, 3u, 4u, 6u, 8u}) {
+        std::printf(" %6u", s);
+    }
+    std::printf("   (speedup over SW sweep)\n");
+
+    for (const auto &profile : workload::dacapoSuite()) {
+        // Software sweep baseline (measured once).
+        driver::LabConfig sw_config;
+        sw_config.runHw = false;
+        driver::GcLab sw_lab(profile, sw_config);
+        sw_lab.run(2);
+        const double sw_sweep = sw_lab.avgSwSweepCycles();
+
+        std::printf("  %-10s", profile.name.c_str());
+        for (unsigned sweepers : {1u, 2u, 3u, 4u, 6u, 8u}) {
+            driver::LabConfig config;
+            config.runSw = false;
+            config.hwgc.numSweepers = sweepers;
+            driver::GcLab lab(profile, config);
+            lab.run(2); // Capped pauses: design-space sweep.
+            std::printf(" %6.2f", sw_sweep / lab.avgHwSweepCycles());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

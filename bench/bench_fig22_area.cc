@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig 22 — area estimates: total (Rocket vs GC unit), Rocket CPU
+ * breakdown, and GC unit breakdown.
+ *
+ * The paper: "our GC unit is 18.5% the size of the CPU, most of which
+ * is taken by the mark queue. This is comparable to the area of 64KB
+ * of SRAM."
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "model/area.h"
+
+namespace
+{
+
+void
+printBreakdown(const char *title,
+               const hwgc::model::AreaBreakdown &area)
+{
+    std::printf("\n  %s (total %.3f mm^2)\n", title, area.total());
+    for (const auto &[name, mm2] : area.parts) {
+        std::printf("  %-12s %8.3f mm^2  (%5.1f%%)\n", name.c_str(),
+                    mm2, 100.0 * mm2 / area.total());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hwgc;
+    bench::banner("Fig 22: area (Synopsys-DC-style estimates)",
+                  "unit = 18.5% of Rocket, ~64 KiB of SRAM");
+
+    const model::AreaModel area;
+    const core::HwgcConfig config;
+
+    const auto rocket = area.rocketArea();
+    const auto unit = area.hwgcArea(config);
+    std::printf("  (a) Total: Rocket %.3f mm^2, GC unit %.3f mm^2 "
+                "-> %.1f%%\n",
+                rocket.total(), unit.total(),
+                100.0 * area.ratio(config));
+    std::printf("      SRAM-equivalent of the unit: %.1f KiB\n",
+                area.sramEquivalentKiB(config));
+
+    printBreakdown("(b) Rocket CPU", rocket);
+    printBreakdown("(c) GC unit (baseline config)", unit);
+
+    // Sensitivity: how the Fig 19 mark-queue points move the total.
+    std::printf("\n  mark-queue sensitivity:\n");
+    for (const auto &[label, entries] :
+         std::vector<std::pair<const char *, unsigned>>{
+             {"2KB", 128}, {"4KB", 384}, {"18KB", 2176},
+             {"130KB", 16512}}) {
+        core::HwgcConfig c;
+        c.markQueueEntries = entries;
+        std::printf("  queue %-6s -> unit %.3f mm^2 (%.1f%% of "
+                    "Rocket)\n",
+                    label, area.hwgcArea(c).total(),
+                    100.0 * area.ratio(c));
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig 23 — power and energy per benchmark, CPU vs GC unit, from
+ * DRAM-level activity counters (the Micron-calculator methodology).
+ *
+ * The paper: "Due to its higher bandwidth, the GC Unit's DRAM power
+ * is much higher, but the overall energy is still lower" (by 14.5%
+ * in their results).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "driver/gc_lab.h"
+#include "model/power.h"
+
+int
+main()
+{
+    using namespace hwgc;
+    bench::banner("Fig 23: power and energy",
+                  "unit draws more DRAM power but ~14.5% less energy");
+
+    const model::PowerModel power;
+    const core::HwgcConfig unit_config;
+
+    std::printf("  %-10s | %9s %9s | %9s %9s | %8s\n", "benchmark",
+                "CPU mW", "unit mW", "CPU mJ", "unit mJ", "saving");
+    double total_cpu_mj = 0.0, total_hw_mj = 0.0;
+    for (const auto &profile : workload::dacapoSuite()) {
+        driver::GcLab lab(profile);
+        lab.run();
+
+        // Aggregate DRAM activity over every pause of the run.
+        model::DramActivity cpu_act, hw_act;
+        for (const auto &r : lab.results()) {
+            cpu_act.bytes += r.swDramBytes;
+            cpu_act.reads += r.swDramReads;
+            cpu_act.writes += r.swDramWrites;
+            cpu_act.activates += r.swDramActivates;
+            cpu_act.cycles += r.swMarkCycles + r.swSweepCycles;
+            hw_act.bytes += r.hw.dramBytes;
+            hw_act.reads += r.hw.dramReads;
+            hw_act.writes += r.hw.dramWrites;
+            hw_act.activates += r.hw.dramActivates;
+            hw_act.cycles += r.hwMarkCycles + r.hwSweepCycles;
+        }
+
+        const auto cpu = power.cpuEnergy(cpu_act);
+        const auto hw = power.hwgcEnergy(hw_act, unit_config);
+        total_cpu_mj += cpu.energyMj();
+        total_hw_mj += hw.energyMj();
+        std::printf("  %-10s | %9.1f %9.1f | %9.3f %9.3f | %6.1f%%\n",
+                    profile.name.c_str(), cpu.totalPowerMw(),
+                    hw.totalPowerMw(), cpu.energyMj(), hw.energyMj(),
+                    100.0 * (1.0 - hw.energyMj() / cpu.energyMj()));
+        std::printf("  %-10s |   (DRAM-only power: CPU %.1f mW, "
+                    "unit %.1f mW)\n",
+                    "", cpu.dramPowerMw, hw.dramPowerMw);
+    }
+    std::printf("\n  suite energy saving: %.1f%%\n",
+                100.0 * (1.0 - total_hw_mj / total_cpu_mj));
+    return 0;
+}

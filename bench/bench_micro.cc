@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the hot simulator primitives:
+ * these guard the simulator's own performance (wall-clock per
+ * simulated cycle), not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mark_queue.h"
+#include "mem/dram.h"
+#include "mem/ideal_mem.h"
+#include "runtime/heap.h"
+#include "sim/random.h"
+#include "workload/graph_gen.h"
+
+namespace
+{
+
+using namespace hwgc;
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rng.next());
+    }
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_PhysMemWordRoundTrip(benchmark::State &state)
+{
+    mem::PhysMem mem;
+    Rng rng(2);
+    for (auto _ : state) {
+        const Addr addr = alignDown(rng.below(1 << 26), 8);
+        mem.writeWord(addr, addr);
+        benchmark::DoNotOptimize(mem.readWord(addr));
+    }
+}
+BENCHMARK(BM_PhysMemWordRoundTrip);
+
+void
+BM_DramAtomicAccess(benchmark::State &state)
+{
+    mem::PhysMem mem;
+    mem::Dram dram("d", mem::DramParams{}, mem);
+    Rng rng(3);
+    std::array<Word, mem::maxReqWords> scratch{};
+    Tick now = 0;
+    for (auto _ : state) {
+        mem::MemRequest req;
+        req.paddr = alignDown(rng.below(1 << 26), 64);
+        req.size = 64;
+        req.op = mem::Op::Read;
+        req.timingOnly = true;
+        benchmark::DoNotOptimize(dram.accessAtomic(req, now, scratch));
+        now += 100;
+    }
+}
+BENCHMARK(BM_DramAtomicAccess);
+
+void
+BM_HeapAllocate(benchmark::State &state)
+{
+    auto mem = std::make_unique<mem::PhysMem>();
+    auto heap = std::make_unique<runtime::Heap>(*mem);
+    std::uint64_t count = 0;
+    for (auto _ : state) {
+        if (++count == 2'000'000) { // Stay inside the 256 MiB reserve.
+            state.PauseTiming();
+            heap.reset();
+            mem = std::make_unique<mem::PhysMem>();
+            heap = std::make_unique<runtime::Heap>(*mem);
+            count = 0;
+            state.ResumeTiming();
+        }
+        benchmark::DoNotOptimize(heap->allocate(3, 4));
+    }
+}
+BENCHMARK(BM_HeapAllocate);
+
+void
+BM_GraphBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        mem::PhysMem mem;
+        runtime::Heap heap(mem);
+        workload::GraphParams params;
+        params.liveObjects = std::uint64_t(state.range(0));
+        params.garbageObjects = params.liveObjects / 2;
+        params.seed = 9;
+        workload::GraphBuilder builder(heap, params);
+        builder.build();
+        benchmark::DoNotOptimize(heap.objects().size());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(10000);
+
+void
+BM_ReachabilityOracle(benchmark::State &state)
+{
+    mem::PhysMem mem;
+    runtime::Heap heap(mem);
+    workload::GraphParams params;
+    params.liveObjects = 10000;
+    params.garbageObjects = 5000;
+    params.seed = 10;
+    workload::GraphBuilder builder(heap, params);
+    builder.build();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(heap.computeReachable().size());
+    }
+}
+BENCHMARK(BM_ReachabilityOracle);
+
+void
+BM_MarkQueueOnChip(benchmark::State &state)
+{
+    mem::PhysMem mem;
+    mem::IdealMem ideal("m", mem::IdealMemParams{}, mem);
+    mem::Interconnect bus("bus", mem::InterconnectParams{}, ideal);
+    mem::BusPort port(bus, nullptr, "spill");
+    core::HwgcConfig config;
+    core::MarkQueue queue("q", config, &port, 0x6000'0000, 4 << 20);
+    bus.setClientResponder(port.clientId(), &queue);
+    for (auto _ : state) {
+        queue.enqueue(0x1000'0000);
+        benchmark::DoNotOptimize(queue.dequeue());
+    }
+}
+BENCHMARK(BM_MarkQueueOnChip);
+
+} // namespace
+
+BENCHMARK_MAIN();

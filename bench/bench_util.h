@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared formatting and aggregation helpers for the per-figure bench
+ * binaries. Every bench prints the rows/series its paper figure
+ * reports, in plain text, so EXPERIMENTS.md can quote them directly.
+ */
+
+#ifndef HWGC_BENCH_BENCH_UTIL_H
+#define HWGC_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace hwgc::bench
+{
+
+/** Milliseconds of simulated time for a cycle count (1 GHz clock). */
+inline double
+msFromCycles(double cycles)
+{
+    return cycles / 1e6;
+}
+
+/** Geometric mean of a list of ratios. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty()) {
+        return 0.0;
+    }
+    double log_sum = 0.0;
+    for (const double v : values) {
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+/** Prints a banner naming the figure being reproduced. */
+inline void
+banner(const char *figure, const char *claim)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", figure);
+    std::printf("  paper: %s\n", claim);
+    std::printf("==============================================================\n");
+}
+
+/** Prints one row of a two-column-per-engine table. */
+inline void
+row(const std::string &label, double a, double b,
+    const char *unit = "ms")
+{
+    std::printf("  %-10s %10.3f %-4s %10.3f %-4s  (ratio %5.2fx)\n",
+                label.c_str(), a, unit, b, unit, b != 0.0 ? a / b : 0.0);
+}
+
+} // namespace hwgc::bench
+
+#endif // HWGC_BENCH_BENCH_UTIL_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Scenario: an SoC architect sizing the GC unit for a new chip. Sweeps
+ * the main design parameters — sweeper count, mark-queue size,
+ * compression, mark-bit cache — and reports performance next to the
+ * area model, i.e. the Fig 19/20/21/22 trade-off in one tool.
+ *
+ *   $ ./build/examples/design_space [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "driver/gc_lab.h"
+#include "model/area.h"
+
+namespace
+{
+
+using namespace hwgc;
+
+struct DesignPoint
+{
+    std::string label;
+    core::HwgcConfig config;
+};
+
+void
+evaluate(const workload::BenchmarkProfile &profile,
+         const DesignPoint &point)
+{
+    driver::LabConfig lab_config;
+    lab_config.runSw = false;
+    lab_config.hwgc = point.config;
+    driver::GcLab lab(profile, lab_config);
+    lab.run(2);
+
+    const model::AreaModel area;
+    std::printf("  %-22s %9.3f ms %9.3f ms %8.3f mm^2 (%4.1f%%)\n",
+                point.label.c_str(),
+                double(lab.avgHwMarkCycles()) / 1e6,
+                double(lab.avgHwSweepCycles()) / 1e6,
+                area.hwgcArea(point.config).total(),
+                100.0 * area.ratio(point.config));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "avrora";
+    const auto profile = workload::dacapoProfile(bench);
+
+    std::printf("design-space sweep on '%s'\n", bench.c_str());
+    std::printf("  %-22s %12s %12s %16s\n", "design point", "mark",
+                "sweep", "unit area");
+
+    std::vector<DesignPoint> points;
+    {
+        DesignPoint p;
+        p.label = "baseline";
+        points.push_back(p);
+    }
+    for (const unsigned sweepers : {1u, 4u, 8u}) {
+        DesignPoint p;
+        p.label = std::to_string(sweepers) + " sweepers";
+        p.config.numSweepers = sweepers;
+        points.push_back(p);
+    }
+    {
+        DesignPoint p;
+        p.label = "2KB mark queue";
+        p.config.markQueueEntries = 128;
+        points.push_back(p);
+    }
+    {
+        DesignPoint p;
+        p.label = "compressed refs";
+        p.config.compressRefs = true;
+        points.push_back(p);
+    }
+    {
+        DesignPoint p;
+        p.label = "64-entry markbit cache";
+        p.config.markBitCacheEntries = 64;
+        points.push_back(p);
+    }
+    {
+        DesignPoint p;
+        p.label = "shared 16KB cache";
+        p.config.sharedCache = true;
+        points.push_back(p);
+    }
+
+    for (const auto &point : points) {
+        evaluate(profile, point);
+    }
+    std::printf("\n(mark/sweep are per-pause averages over 2 pauses; "
+                "area from the Fig 22 model)\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scenario: a latency-sensitive search service (the paper's lusearch
+ * motivation, Fig 1b). We measure GC pauses on the CPU and on the
+ * accelerator, then replay both pause distributions through the
+ * query-latency harness to show what the accelerator does to tail
+ * latency — and what a pause-free concurrent collector built on the
+ * unit (paper §IV-D) could achieve.
+ *
+ *   $ ./build/examples/latency_service [benchmark]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "driver/gc_lab.h"
+#include "workload/latency.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace hwgc;
+    const std::string bench = argc > 1 ? argv[1] : "lusearch";
+    const auto profile = workload::dacapoProfile(bench);
+
+    std::printf("measuring GC pauses for '%s' on both engines...\n",
+                bench.c_str());
+    driver::GcLab lab(profile);
+    std::vector<double> cpu_pauses, unit_pauses;
+    for (const auto &r : lab.run()) {
+        cpu_pauses.push_back(
+            double(r.swMarkCycles + r.swSweepCycles) / 1e6);
+        unit_pauses.push_back(
+            double(r.hwMarkCycles + r.hwSweepCycles) / 1e6);
+    }
+    std::printf("  CPU pauses (ms): ");
+    for (const double p : cpu_pauses) {
+        std::printf("%.2f ", p);
+    }
+    std::printf("\n  unit pauses (ms):");
+    for (const double p : unit_pauses) {
+        std::printf(" %.2f", p);
+    }
+    std::printf("\n\n");
+
+    workload::LatencyParams params;
+    const auto on_cpu = workload::runLatencyExperiment(
+        params, cpu_pauses, profile.mutatorMsPerGC);
+    const auto on_unit = workload::runLatencyExperiment(
+        params, unit_pauses, profile.mutatorMsPerGC);
+    // A concurrent collector built on the unit (paper §IV-D) removes
+    // the stop-the-world pause entirely; queries only see barrier
+    // overhead, approximated as a service-time tax (ZGC targets <15%
+    // slow-down; paper §III-B).
+    workload::LatencyParams concurrent = params;
+    concurrent.serviceMeanMs *= 1.15;
+    const auto pause_free =
+        workload::runLatencyExperiment(concurrent, {}, 0.0);
+
+    std::printf("query latency at %0.f QPS "
+                "(%u queries, coordinated omission):\n",
+                1000.0 / params.issueIntervalMs, params.totalQueries);
+    std::printf("  %-10s %12s %12s %14s\n", "quantile",
+                "stop-the-world", "accelerator", "concurrent+unit");
+    for (const double q : {0.50, 0.90, 0.99, 0.999}) {
+        std::printf("  p%-9g %9.2f ms %9.2f ms %11.2f ms\n", q * 100,
+                    on_cpu.percentile(q), on_unit.percentile(q),
+                    pause_free.percentile(q));
+    }
+    std::printf("  %-10s %9.2f ms %9.2f ms %11.2f ms\n", "max",
+                on_cpu.maxMs(), on_unit.maxMs(), pause_free.maxMs());
+
+    std::printf("\ntail (max/median): CPU %.0fx, unit %.0fx, "
+                "concurrent %.1fx\n",
+                on_cpu.maxMs() / on_cpu.percentile(0.5),
+                on_unit.maxMs() / on_unit.percentile(0.5),
+                pause_free.maxMs() / pause_free.percentile(0.5));
+    return 0;
+}

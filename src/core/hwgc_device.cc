@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Device assembly: memory side, ports, units, and phase control.
+ */
+
+#include "hwgc_device.h"
+
+#include "runtime/heap_layout.h"
+
+namespace hwgc::core
+{
+
+HwgcDevice::HwgcDevice(mem::PhysMem &mem,
+                       const mem::PageTable &page_table,
+                       const HwgcConfig &config)
+    : config_(config), mem_(mem), pageTable_(page_table)
+{
+    // Memory side: DRAM (Table I) or the ideal pipe (Fig 17).
+    if (config_.memModel == MemModel::Ddr3) {
+        auto dram = std::make_unique<mem::Dram>("dram", config_.dram,
+                                                mem_);
+        dramPtr_ = dram.get();
+        memory_ = std::move(dram);
+    } else {
+        memory_ = std::make_unique<mem::IdealMem>("idealmem",
+                                                  config_.ideal, mem_);
+    }
+    bus_ = std::make_unique<mem::Interconnect>("bus", config_.bus,
+                                               *memory_);
+
+    // Port plumbing. In the shared design every traversal component
+    // (and the PTW) competes for one 16 KiB cache (Fig 18a); in the
+    // partitioned design the PTW keeps a private 8 KiB cache and the
+    // others talk to the interconnect directly (Fig 18b).
+    auto make_bus_port = [this](const std::string &label) {
+        busPorts_.push_back(
+            std::make_unique<mem::BusPort>(*bus_, nullptr, label));
+        return busPorts_.back().get();
+    };
+
+    mem::MemPort *ptw_port = nullptr;
+    if (config_.sharedCache) {
+        sharedCache_ = std::make_unique<mem::TimedCache>(
+            "unitcache", config_.sharedCacheParams, mem_, *bus_);
+        markerPort_ = sharedCache_->addPort(nullptr, "marker");
+        tracerPort_ = sharedCache_->addPort(nullptr, "tracer");
+        spillPort_ = sharedCache_->addPort(nullptr, "markQueue");
+        readerPort_ = sharedCache_->addPort(nullptr, "reader");
+        ptw_port = sharedCache_->addPort(nullptr, "ptw");
+    } else {
+        ptwCache_ = std::make_unique<mem::TimedCache>(
+            "ptwcache", config_.ptwCacheParams, mem_, *bus_);
+        markerPort_ = make_bus_port("marker");
+        tracerPort_ = make_bus_port("tracer");
+        spillPort_ = make_bus_port("markQueue");
+        readerPort_ = make_bus_port("reader");
+        ptw_port = ptwCache_->addPort(nullptr, "ptw");
+    }
+    blockReaderPort_ = make_bus_port("blockReader");
+    for (unsigned i = 0; i < config_.numSweepers; ++i) {
+        sweeperPorts_.push_back(
+            make_bus_port("sweeper" + std::to_string(i)));
+    }
+
+    ptw_ = std::make_unique<mem::Ptw>("ptw", config_.ptw, pageTable_,
+                                      ptw_port);
+
+    // Traversal unit.
+    markQueue_ = std::make_unique<MarkQueue>(
+        "markQueue", config_, spillPort_, runtime::HeapLayout::spillBase,
+        runtime::HeapLayout::spillSize);
+    traceQueue_ =
+        std::make_unique<TraceQueue>(config_.tracerQueueEntries);
+    marker_ = std::make_unique<Marker>("marker", config_, *markQueue_,
+                                       *traceQueue_, markerPort_, *ptw_);
+    tracer_ = std::make_unique<Tracer>("tracer", config_, *traceQueue_,
+                                       *markQueue_, tracerPort_, *ptw_);
+    tracer_->setMarker(marker_.get());
+    rootReader_ = std::make_unique<RootReader>(
+        "rootReader", config_, *markQueue_, readerPort_, *ptw_);
+    reclamation_ = std::make_unique<ReclamationUnit>(
+        "reclamation", config_, blockReaderPort_, sweeperPorts_, *ptw_);
+
+    // Wire responders now that the units exist.
+    auto wire = [this](mem::MemPort *port, mem::MemResponder *responder) {
+        if (auto *bp = dynamic_cast<mem::BusPort *>(port)) {
+            bus_->setClientResponder(bp->clientId(), responder);
+        } else if (sharedCache_) {
+            sharedCache_->setPortResponder(port, responder);
+        } else {
+            panic("unknown port kind");
+        }
+    };
+    wire(markerPort_, marker_.get());
+    wire(tracerPort_, tracer_.get());
+    wire(spillPort_, markQueue_.get());
+    wire(readerPort_, rootReader_.get());
+    wire(blockReaderPort_, reclamation_.get());
+    for (unsigned i = 0; i < config_.numSweepers; ++i) {
+        wire(sweeperPorts_[i], reclamation_->sweepers()[i].get());
+    }
+    if (config_.sharedCache) {
+        sharedCache_->setPortResponder(ptw_port, ptw_.get());
+    } else {
+        ptwCache_->setPortResponder(ptw_port, ptw_.get());
+    }
+
+    // Clock everything. Evaluation order: consumers before producers
+    // is not required (queues decouple), but memory devices last so
+    // same-cycle requests are seen next cycle.
+    system_.add(rootReader_.get());
+    system_.add(marker_.get());
+    system_.add(tracer_.get());
+    system_.add(markQueue_.get());
+    system_.add(reclamation_.get());
+    for (auto &sweeper : reclamation_->sweepers()) {
+        system_.add(sweeper.get());
+    }
+    system_.add(ptw_.get());
+    if (sharedCache_) {
+        system_.add(sharedCache_.get());
+    }
+    if (ptwCache_) {
+        system_.add(ptwCache_.get());
+    }
+    system_.add(bus_.get());
+    system_.add(memory_.get());
+}
+
+void
+HwgcDevice::configure(const runtime::Heap &heap)
+{
+    regs_.pageTableBase = heap.pageTable().root();
+    regs_.hwgcSpaceBase = heap.hwgcSpaceBase();
+    regs_.rootCount = heap.publishedRootCount();
+    regs_.blockTableBase = heap.blockTableBase();
+    regs_.blockCount = heap.blocks().size();
+    regs_.spillBase = runtime::HeapLayout::spillBase;
+    regs_.spillBytes = runtime::HeapLayout::spillSize;
+}
+
+Tick
+HwgcDevice::runUntil(const char *phase)
+{
+    const Tick start = system_.now();
+    const bool ok = system_.runUntilIdle();
+    panic_if(!ok, "%s phase deadlocked (cycle budget exhausted)",
+             phase);
+    return system_.now() - start;
+}
+
+HwPhaseResult
+HwgcDevice::runMark()
+{
+    panic_if(regs_.rootCount == 0 && regs_.hwgcSpaceBase == 0,
+             "device not configured");
+    regs_.status = MmioRegs::Marking;
+    rootReader_->start(regs_.hwgcSpaceBase, regs_.rootCount);
+
+    HwPhaseResult result;
+    result.cycles = runUntil("mark");
+    panic_if(!markQueue_->empty() || !marker_->idle() ||
+             !tracer_->idle() || !rootReader_->done(),
+             "mark phase ended with residual work");
+    result.objectsMarked = marker_->newlyMarked();
+    result.refsTraced = tracer_->refsEnqueued();
+    regs_.status = MmioRegs::Idle;
+    return result;
+}
+
+HwPhaseResult
+HwgcDevice::runSweep()
+{
+    regs_.status = MmioRegs::Sweeping;
+    reclamation_->start(regs_.blockTableBase, regs_.blockCount);
+
+    HwPhaseResult result;
+    result.cycles = runUntil("sweep");
+    panic_if(!reclamation_->done(),
+             "sweep phase ended with residual work");
+    result.cellsFreed = reclamation_->cellsFreed();
+    regs_.status = MmioRegs::Idle;
+    return result;
+}
+
+HwPhaseResult
+HwgcDevice::collect()
+{
+    HwPhaseResult mark = runMark();
+    const HwPhaseResult sweep = runSweep();
+    mark.cycles += sweep.cycles;
+    mark.cellsFreed = sweep.cellsFreed;
+    return mark;
+}
+
+void
+HwgcDevice::resetPhaseState()
+{
+    markQueue_->reset();
+    marker_->reset();
+    tracer_->reset();
+    rootReader_->reset();
+    reclamation_->reset();
+    ptw_->l2Tlb().flush();
+    memory_->resetTimingState();
+}
+
+void
+HwgcDevice::resetStats()
+{
+    markQueue_->resetStats();
+    marker_->resetStats();
+    tracer_->resetStats();
+    traceQueue_->resetStats();
+    reclamation_->resetStats();
+    ptw_->resetStats();
+    bus_->resetStats();
+    memory_->resetStats();
+    if (sharedCache_) {
+        sharedCache_->resetStats();
+    }
+    if (ptwCache_) {
+        ptwCache_->resetStats();
+    }
+}
+
+} // namespace hwgc::core

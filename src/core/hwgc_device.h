@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The complete GC accelerator device: traversal unit + reclamation
+ * unit + their memory-side plumbing, behind an MMIO-register façade.
+ *
+ * This is the integration point the paper's Fig 10 describes: the
+ * Linux driver writes the process's page-table base and the unit's
+ * configuration (hwgc-space, block list, spill region, size classes)
+ * into memory-mapped registers, launches a GC phase, and polls a
+ * status register. The device owns its own simulated SoC memory side
+ * (interconnect + DRAM or ideal pipe) because the unit runs during a
+ * stop-the-world pause — the CPU's only traffic is polling MMIO,
+ * which does not touch DRAM.
+ */
+
+#ifndef HWGC_CORE_HWGC_DEVICE_H
+#define HWGC_CORE_HWGC_DEVICE_H
+
+#include <memory>
+
+#include "core/mark_queue.h"
+#include "core/marker.h"
+#include "core/reclamation_unit.h"
+#include "core/root_reader.h"
+#include "core/tracer.h"
+#include "mem/timed_cache.h"
+#include "runtime/heap.h"
+
+namespace hwgc::core
+{
+
+/** The device's memory-mapped register file (driver interface). */
+struct MmioRegs
+{
+    Addr pageTableBase = 0;  //!< satp analogue.
+    Addr hwgcSpaceBase = 0;  //!< Root region VA.
+    std::uint64_t rootCount = 0;
+    Addr blockTableBase = 0; //!< Block descriptor list VA.
+    std::uint64_t blockCount = 0;
+    Addr spillBase = 0;      //!< Spill region PA.
+    std::uint64_t spillBytes = 0;
+
+    /** Status register values polled by the runtime (§IV-C). */
+    enum Status : std::uint64_t { Idle = 0, Marking = 1, Sweeping = 2 };
+    std::uint64_t status = Idle;
+};
+
+/** Result of one accelerator phase. */
+struct HwPhaseResult
+{
+    Tick cycles = 0;
+    std::uint64_t objectsMarked = 0;
+    std::uint64_t refsTraced = 0;
+    std::uint64_t cellsFreed = 0;
+};
+
+/** The assembled accelerator. */
+class HwgcDevice
+{
+  public:
+    /**
+     * @param page_table The process page table the PTW walks (the
+     *        driver writes its base into the MMIO registers).
+     */
+    HwgcDevice(mem::PhysMem &mem, const mem::PageTable &page_table,
+               const HwgcConfig &config);
+
+    /** Driver helper: programs the registers from the heap's state. */
+    void configure(const runtime::Heap &heap);
+
+    /** Raw register access (the driver path of Fig 10). */
+    MmioRegs &regs() { return regs_; }
+
+    /** Runs the mark phase to completion; returns its cycle count. */
+    HwPhaseResult runMark();
+
+    /** Runs the sweep phase to completion. */
+    HwPhaseResult runSweep();
+
+    /** Runs mark then sweep. */
+    HwPhaseResult collect();
+
+    /**
+     * Flushes all unit-internal state (TLBs, caches, filters) —
+     * called between GC pauses; the real device is context-switched
+     * the same way (§VII "Context Switching").
+     */
+    void resetPhaseState();
+
+    /** Resets every statistic in the device and its memory side. */
+    void resetStats();
+
+    /** @name Component access for benches and tests @{ */
+    Marker &marker() { return *marker_; }
+    Tracer &tracer() { return *tracer_; }
+    MarkQueue &markQueue() { return *markQueue_; }
+    TraceQueue &traceQueue() { return *traceQueue_; }
+    RootReader &rootReader() { return *rootReader_; }
+    ReclamationUnit &reclamation() { return *reclamation_; }
+    mem::Interconnect &bus() { return *bus_; }
+    mem::MemDevice &memory() { return *memory_; }
+    mem::Ptw &ptw() { return *ptw_; }
+    mem::Dram *dram() { return dramPtr_; }
+    mem::TimedCache *sharedCache() { return sharedCache_.get(); }
+    mem::TimedCache *ptwCache() { return ptwCache_.get(); }
+    const HwgcConfig &config() const { return config_; }
+    System &system() { return system_; }
+    /** @} */
+
+  private:
+    /** Steps the system until the given phase-done predicate holds
+     *  and the memory side has drained. */
+    Tick runUntil(const char *phase);
+
+    HwgcConfig config_;
+    mem::PhysMem &mem_;
+    const mem::PageTable &pageTable_;
+    MmioRegs regs_;
+
+    System system_;
+    std::unique_ptr<mem::MemDevice> memory_;
+    mem::Dram *dramPtr_ = nullptr;
+    std::unique_ptr<mem::Interconnect> bus_;
+    std::unique_ptr<mem::TimedCache> sharedCache_; //!< Fig 18a mode.
+    std::unique_ptr<mem::TimedCache> ptwCache_;    //!< Partitioned.
+    std::unique_ptr<mem::Ptw> ptw_;
+
+    std::vector<std::unique_ptr<mem::BusPort>> busPorts_;
+    mem::MemPort *markerPort_ = nullptr;
+    mem::MemPort *tracerPort_ = nullptr;
+    mem::MemPort *spillPort_ = nullptr;
+    mem::MemPort *readerPort_ = nullptr;
+    mem::MemPort *blockReaderPort_ = nullptr;
+    std::vector<mem::MemPort *> sweeperPorts_;
+
+    std::unique_ptr<MarkQueue> markQueue_;
+    std::unique_ptr<TraceQueue> traceQueue_;
+    std::unique_ptr<Marker> marker_;
+    std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<RootReader> rootReader_;
+    std::unique_ptr<ReclamationUnit> reclamation_;
+};
+
+} // namespace hwgc::core
+
+#endif // HWGC_CORE_HWGC_DEVICE_H

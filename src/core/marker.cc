@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Marker implementation.
+ */
+
+#include "marker.h"
+
+#include "runtime/object_model.h"
+
+namespace hwgc::core
+{
+
+using runtime::StatusWord;
+
+Marker::Marker(std::string name, const HwgcConfig &config,
+               MarkQueue &mark_queue, TraceQueue &trace_queue,
+               mem::MemPort *port, mem::Ptw &ptw)
+    : Clocked(std::move(name)), config_(config), markQueue_(mark_queue),
+      traceQueue_(trace_queue), port_(port), ptw_(ptw),
+      tlb_(this->name() + ".tlb", config.unitTlbEntries),
+      markBitCache_(config.markBitCacheEntries),
+      slots_(config.markerSlots),
+      waiters_(std::max(1u, config.markerWalkWaiters))
+{
+    panic_if(port_ == nullptr, "marker needs a memory port");
+    panic_if(config_.markerSlots == 0, "marker needs request slots");
+}
+
+bool
+Marker::idle() const
+{
+    if (waitersActive_ != 0) {
+        return false;
+    }
+    for (const auto &slot : slots_) {
+        if (slot.state != SlotState::Free) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+Marker::findFreeSlot() const
+{
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].state == SlotState::Free) {
+            return int(i);
+        }
+    }
+    return -1;
+}
+
+void
+Marker::onResponse(const mem::MemResponse &resp, Tick now)
+{
+    (void)now;
+    if (resp.req.isWrite()) {
+        return; // Write-back ack; the slot was already released.
+    }
+    panic_if(resp.req.tag >= slots_.size(), "bad marker tag");
+    Slot &slot = slots_[resp.req.tag];
+    panic_if(slot.state != SlotState::AwaitRead,
+             "marker response for idle slot");
+    panic_if(inFlightReads_ == 0, "marker in-flight underflow");
+    --inFlightReads_;
+
+    const Word old_header = resp.rdata[0];
+    panic_if(!StatusWord::live(old_header),
+             "marker read a non-live header at %#llx",
+             (unsigned long long)slot.ref);
+
+    if (StatusWord::marked(old_header)) {
+        // Already marked: elide the write-back, free the slot. Still
+        // remember the reference — the cache filters *recently
+        // accessed* objects (paper §V-C), and hot objects are mostly
+        // seen via repeat accesses.
+        markBitCache_.insert(slot.ref);
+        ++alreadyMarked_;
+        ++writebacksElided_;
+        slot.state = SlotState::Free;
+        return;
+    }
+
+    ++newlyMarked_;
+    slot.newHeader = old_header | StatusWord::markBit;
+    slot.needWriteback = true;
+    slot.numRefs = StatusWord::numRefs(old_header);
+    slot.needTracePush = slot.numRefs > 0;
+    slot.state = SlotState::Finish;
+    markBitCache_.insert(slot.ref);
+}
+
+void
+Marker::finishSlots(Tick now)
+{
+    for (auto &slot : slots_) {
+        if (slot.state != SlotState::Finish) {
+            continue;
+        }
+        if (slot.needWriteback) {
+            mem::MemRequest wb;
+            wb.paddr = slot.paddr;
+            wb.size = wordBytes;
+            wb.op = mem::Op::Write;
+            wb.wdata[0] = slot.newHeader;
+            wb.tag = std::uint64_t(&slot - slots_.data());
+            if (!port_->canSend(wb)) {
+                continue;
+            }
+            port_->send(wb, now);
+            slot.needWriteback = false;
+        }
+        if (slot.needTracePush) {
+            if (!traceQueue_.canPush()) {
+                continue;
+            }
+            traceQueue_.push({slot.ref, slot.numRefs});
+            slot.needTracePush = false;
+        }
+        slot.state = SlotState::Free;
+    }
+}
+
+bool
+Marker::issueRead(Addr ref, Addr pa, Tick now)
+{
+    const int idx = findFreeSlot();
+    if (idx < 0) {
+        return false;
+    }
+    mem::MemRequest req;
+    req.paddr = pa;
+    req.size = wordBytes;
+    req.op = mem::Op::Read;
+    req.tag = std::uint64_t(idx);
+    if (!port_->canSend(req)) {
+        return false;
+    }
+    Slot &slot = slots_[idx];
+    slot.state = SlotState::AwaitRead;
+    slot.ref = ref;
+    slot.paddr = pa;
+    port_->send(req, now);
+    ++inFlightReads_;
+    ++marksIssued_;
+    return true;
+}
+
+void
+Marker::issue(Tick now)
+{
+    // Ready walk waiters have priority (their references are oldest).
+    for (auto &waiter : waiters_) {
+        if (waiter.valid && waiter.ready) {
+            if (issueRead(waiter.ref, waiter.pa, now)) {
+                waiter.valid = false;
+                --waitersActive_;
+            }
+            return; // One issue per cycle.
+        }
+    }
+
+    if (!markQueue_.canDequeue()) {
+        return;
+    }
+    // Hit-under-miss: keep issuing TLB hits while up to N misses walk;
+    // a full waiter station stalls the marker (the Fig 17/§VI-A TLB
+    // serialization bottleneck).
+    if (waitersActive_ >= waiters_.size()) {
+        ++tlbMissStalls_;
+        return;
+    }
+    if (findFreeSlot() < 0) {
+        return;
+    }
+    mem::MemRequest probe;
+    probe.size = wordBytes;
+    if (!port_->canSend(probe)) {
+        return;
+    }
+
+    const Addr ref = markQueue_.dequeue();
+    if (profileTargets_) {
+        ++targetProfile_[ref];
+    }
+    if (markBitCache_.enabled() && markBitCache_.contains(ref)) {
+        ++markCacheHits_;
+        return; // Filtered: known recently marked.
+    }
+
+    if (const auto pa = tlb_.lookup(ref)) {
+        const bool sent = issueRead(ref, *pa, now);
+        panic_if(!sent, "marker issue failed after resource check");
+        return;
+    }
+
+    // TLB miss: park the reference and request a (serialized) walk.
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+        WalkWaiter &waiter = waiters_[i];
+        if (waiter.valid) {
+            continue;
+        }
+        waiter.valid = true;
+        waiter.walkRequested = false;
+        waiter.ready = false;
+        waiter.ref = ref;
+        ++waitersActive_;
+        break;
+    }
+}
+
+void
+Marker::tick(Tick now)
+{
+    finishSlots(now);
+
+    // Launch walks for parked references as the PTW frees up.
+    for (std::size_t i = 0; i < waiters_.size(); ++i) {
+        WalkWaiter &waiter = waiters_[i];
+        if (!waiter.valid || waiter.walkRequested || waiter.ready ||
+            !ptw_.canRequest()) {
+            continue;
+        }
+        waiter.walkRequested = true;
+        ptw_.requestWalk(waiter.ref,
+                         [this, i](bool valid, Addr va, Addr pa,
+                                   unsigned page_bits) {
+            fatal_if(!valid, "GC unit touched unmapped VA %#llx",
+                     (unsigned long long)va);
+            tlb_.insert(va, pa, page_bits);
+            WalkWaiter &w = waiters_[i];
+            panic_if(!w.valid || w.ready, "stale marker walk callback");
+            w.pa = pa;
+            w.ready = true;
+        });
+    }
+
+    issue(now);
+}
+
+void
+Marker::reset()
+{
+    panic_if(!idle(), "marker reset while active");
+    tlb_.flush();
+    markBitCache_.clear();
+    targetProfile_.clear();
+}
+
+void
+Marker::resetStats()
+{
+    marksIssued_.reset();
+    alreadyMarked_.reset();
+    newlyMarked_.reset();
+    writebacksElided_.reset();
+    markCacheHits_.reset();
+    tlbMissStalls_.reset();
+    tlb_.resetStats();
+}
+
+} // namespace hwgc::core

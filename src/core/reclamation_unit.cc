@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Reclamation unit implementation.
+ */
+
+#include "reclamation_unit.h"
+
+#include "runtime/block_table.h"
+
+namespace hwgc::core
+{
+
+using runtime::BlockTableEntry;
+
+ReclamationUnit::ReclamationUnit(std::string name,
+                                 const HwgcConfig &config,
+                                 mem::MemPort *reader_port,
+                                 std::vector<mem::MemPort *> sweeper_ports,
+                                 mem::Ptw &ptw)
+    : Clocked(std::move(name)), config_(config),
+      readerPort_(reader_port), ptw_(ptw),
+      readerTlb_(this->name() + ".reader.tlb", 4)
+{
+    panic_if(readerPort_ == nullptr, "reclamation unit needs a port");
+    panic_if(sweeper_ports.size() != config.numSweepers,
+             "expected %u sweeper ports, got %zu", config.numSweepers,
+             sweeper_ports.size());
+    for (unsigned i = 0; i < config.numSweepers; ++i) {
+        sweepers_.push_back(std::make_unique<BlockSweeper>(
+            this->name() + ".sweeper" + std::to_string(i), config,
+            sweeper_ports[i], ptw));
+    }
+}
+
+void
+ReclamationUnit::start(Addr block_table_va, std::uint64_t block_count)
+{
+    panic_if(!done(), "reclamation unit restarted while active");
+    tableVa_ = block_table_va;
+    nextBlock_ = 0;
+    blockCount_ = block_count;
+    entryReadPending_ = false;
+    entryReady_ = false;
+}
+
+bool
+ReclamationUnit::done() const
+{
+    if (nextBlock_ < blockCount_ || entryReadPending_ || entryReady_) {
+        return false;
+    }
+    for (const auto &sweeper : sweepers_) {
+        if (!sweeper->drained()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+ReclamationUnit::onResponse(const mem::MemResponse &resp, Tick now)
+{
+    (void)now;
+    panic_if(!entryReadPending_, "unexpected block-entry response");
+    entryReadPending_ = false;
+    pendingJob_.entryVa =
+        BlockTableEntry::addr(tableVa_, nextBlock_);
+    pendingJob_.baseVa = resp.rdata[0];
+    pendingJob_.cellBytes = BlockTableEntry::cellBytes(resp.rdata[1]);
+    entryReady_ = true;
+}
+
+void
+ReclamationUnit::tick(Tick now)
+{
+    // Dispatch a decoded entry to the first idle sweeper.
+    if (entryReady_) {
+        for (auto &sweeper : sweepers_) {
+            if (sweeper->idle()) {
+                sweeper->assign(pendingJob_);
+                entryReady_ = false;
+                ++nextBlock_;
+                ++dispatched_;
+                break;
+            }
+        }
+        return;
+    }
+
+    if (entryReadPending_ || nextBlock_ >= blockCount_) {
+        return;
+    }
+
+    // Fetch the next 32-byte block-table entry.
+    const Addr entry_va = BlockTableEntry::addr(tableVa_, nextBlock_);
+    std::optional<Addr> pa = readerTlb_.lookup(entry_va);
+    if (!pa) {
+        if (!walkPending_ && ptw_.canRequest()) {
+            walkPending_ = true;
+            ptw_.requestWalk(entry_va,
+                             [this](bool valid, Addr va, Addr wpa,
+                                    unsigned page_bits) {
+                fatal_if(!valid, "block table unmapped at %#llx",
+                         (unsigned long long)va);
+                readerTlb_.insert(va, wpa, page_bits);
+                walkPending_ = false;
+            });
+        }
+        return;
+    }
+
+    mem::MemRequest req;
+    req.paddr = *pa;
+    req.size = BlockTableEntry::words * wordBytes;
+    req.op = mem::Op::Read;
+    if (!readerPort_->canSend(req)) {
+        return;
+    }
+    readerPort_->send(req, now);
+    entryReadPending_ = true;
+}
+
+std::uint64_t
+ReclamationUnit::cellsFreed() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sweeper : sweepers_) {
+        total += sweeper->cellsFreed();
+    }
+    return total;
+}
+
+std::uint64_t
+ReclamationUnit::cellsScanned() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sweeper : sweepers_) {
+        total += sweeper->cellsScanned();
+    }
+    return total;
+}
+
+void
+ReclamationUnit::reset()
+{
+    panic_if(!done(), "reclamation unit reset while active");
+    readerTlb_.flush();
+    for (auto &sweeper : sweepers_) {
+        sweeper->reset();
+    }
+}
+
+void
+ReclamationUnit::resetStats()
+{
+    dispatched_.reset();
+    readerTlb_.resetStats();
+    for (auto &sweeper : sweepers_) {
+        sweeper->resetStats();
+    }
+}
+
+} // namespace hwgc::core

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Root reader implementation.
+ */
+
+#include "root_reader.h"
+
+#include "core/tracer.h"
+
+namespace hwgc::core
+{
+
+RootReader::RootReader(std::string name, const HwgcConfig &config,
+                       MarkQueue &mark_queue, mem::MemPort *port,
+                       mem::Ptw &ptw)
+    : Clocked(std::move(name)), config_(config), markQueue_(mark_queue),
+      port_(port), ptw_(ptw), tlb_(this->name() + ".tlb", 4)
+{
+    panic_if(port_ == nullptr, "root reader needs a memory port");
+}
+
+void
+RootReader::start(Addr base_va, std::uint64_t count)
+{
+    panic_if(!done(), "root reader restarted while active");
+    panic_if(base_va % lineBytes != 0,
+             "hwgc-space must be line aligned");
+    base_ = base_va;
+    cursor_ = base_va;
+    end_ = base_va + count * wordBytes;
+}
+
+void
+RootReader::extend(std::uint64_t count)
+{
+    panic_if(base_ == 0 && end_ == 0, "extend before start");
+    const Addr new_end = base_ + count * wordBytes;
+    panic_if(new_end < end_, "root region cannot shrink");
+    end_ = new_end;
+}
+
+bool
+RootReader::done() const
+{
+    return cursor_ >= end_ && inFlight_ == 0 && pending_.empty();
+}
+
+void
+RootReader::onResponse(const mem::MemResponse &resp, Tick now)
+{
+    (void)now;
+    panic_if(inFlight_ == 0, "root reader in-flight underflow");
+    --inFlight_;
+    for (unsigned i = 0; i < resp.req.words(); ++i) {
+        if (resp.rdata[i] != 0) {
+            pending_.push_back(resp.rdata[i]);
+        }
+    }
+}
+
+void
+RootReader::tick(Tick now)
+{
+    // Feed buffered roots into the mark queue.
+    unsigned moved = 0;
+    while (moved < 4 && !pending_.empty() && markQueue_.canEnqueue()) {
+        markQueue_.enqueue(pending_.front());
+        pending_.pop_front();
+        ++rootsRead_;
+        ++moved;
+    }
+
+    if (cursor_ >= end_ || pending_.size() >= 64) {
+        return;
+    }
+
+    // Translate the current page (blocking, via the shared PTW).
+    std::optional<Addr> pa = tlb_.lookup(cursor_);
+    if (!pa) {
+        if (!walkPending_ && ptw_.canRequest()) {
+            walkPending_ = true;
+            ptw_.requestWalk(cursor_,
+                             [this](bool valid, Addr va, Addr wpa,
+                                    unsigned page_bits) {
+                fatal_if(!valid, "hwgc-space unmapped at %#llx",
+                         (unsigned long long)va);
+                tlb_.insert(va, wpa, page_bits);
+                walkPending_ = false;
+            });
+        }
+        return;
+    }
+
+    const unsigned size =
+        Tracer::nextTransferSize(cursor_, end_ - cursor_);
+    mem::MemRequest req;
+    req.paddr = *pa;
+    req.size = size;
+    req.op = mem::Op::Read;
+    if (!port_->canSend(req)) {
+        return;
+    }
+    port_->send(req, now);
+    ++inFlight_;
+    cursor_ += size;
+}
+
+void
+RootReader::reset()
+{
+    panic_if(!done(), "root reader reset while active");
+    tlb_.flush();
+    base_ = cursor_ = end_ = 0;
+}
+
+} // namespace hwgc::core

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tracer implementation.
+ */
+
+#include "tracer.h"
+
+#include "runtime/object_model.h"
+
+namespace hwgc::core
+{
+
+using runtime::ObjectModel;
+
+Tracer::Tracer(std::string name, const HwgcConfig &config,
+               TraceQueue &trace_queue, MarkQueue &mark_queue,
+               mem::MemPort *port, mem::Ptw &ptw)
+    : Clocked(std::move(name)), config_(config), traceQueue_(trace_queue),
+      markQueue_(mark_queue), port_(port), ptw_(ptw),
+      tlb_(this->name() + ".tlb", config.unitTlbEntries)
+{
+    panic_if(port_ == nullptr, "tracer needs a memory port");
+}
+
+unsigned
+Tracer::nextTransferSize(Addr addr, std::uint64_t remaining)
+{
+    for (unsigned size : {64u, 32u, 16u, 8u}) {
+        if (size <= remaining && addr % size == 0) {
+            return size;
+        }
+    }
+    panic("tracer cursor %#llx not word aligned",
+          (unsigned long long)addr);
+}
+
+bool
+Tracer::idle() const
+{
+    return !active_ && traceQueue_.empty() && inFlight_ == 0 &&
+        pendingRefs_.empty() && !walkPending_;
+}
+
+std::optional<Addr>
+Tracer::translate(Addr va)
+{
+    if (walkDone_ && walkVa_ == alignDown(va, pageBytes)) {
+        return walkPa_ + (va % pageBytes);
+    }
+    if (const auto pa = tlb_.lookup(va)) {
+        return *pa;
+    }
+    if (!walkPending_ && ptw_.canRequest()) {
+        walkPending_ = true;
+        walkDone_ = false;
+        ptw_.requestWalk(va, [this](bool valid, Addr wva, Addr wpa,
+                                    unsigned page_bits) {
+            fatal_if(!valid, "tracer touched unmapped VA %#llx",
+                     (unsigned long long)wva);
+            tlb_.insert(wva, wpa, page_bits);
+            walkVa_ = alignDown(wva, pageBytes);
+            walkPa_ = alignDown(wpa, pageBytes);
+            walkPending_ = false;
+            walkDone_ = true;
+        });
+    }
+    return std::nullopt;
+}
+
+bool
+Tracer::mayIssue() const
+{
+    if (markQueue_.throttle()) {
+        return false; // outQ fill signal (paper Fig 12).
+    }
+    if (pendingRefs_.size() >= config_.tracerPendingRefs) {
+        return false; // Response buffer back-pressure.
+    }
+    if (config_.tracerTagSlots != 0 &&
+        inFlight_ >= config_.tracerTagSlots) {
+        return false; // Tagged-tracer ablation.
+    }
+    if (!config_.decoupledTracer && marker_ != nullptr &&
+        marker_->inFlight() != 0) {
+        return false; // Coupled-pipeline ablation.
+    }
+    return true;
+}
+
+void
+Tracer::onResponse(const mem::MemResponse &resp, Tick now)
+{
+    (void)now;
+    panic_if(inFlight_ == 0, "tracer in-flight underflow");
+    --inFlight_;
+
+    switch (resp.req.tag) {
+      case kindRefData:
+        for (unsigned i = 0; i < resp.req.words(); ++i) {
+            const Addr ref = resp.rdata[i];
+            if (ref == runtime::nullRef) {
+                ++nullsDropped_;
+            } else {
+                pendingRefs_.push_back(ref);
+            }
+        }
+        break;
+      case kindTibPtr:
+        panic_if(!active_ || !active_->awaitTibPtr,
+                 "unexpected TIB pointer response");
+        active_->tibAddr = resp.rdata[0];
+        active_->awaitTibPtr = false;
+        active_->needTibMeta = true;
+        break;
+      case kindTibMeta:
+        if (active_ && active_->awaitTibMeta) {
+            active_->awaitTibMeta = false;
+        }
+        break;
+      default:
+        panic("unknown tracer request kind %llu",
+              (unsigned long long)resp.req.tag);
+    }
+}
+
+void
+Tracer::drainPendingRefs()
+{
+    unsigned moved = 0;
+    while (moved < 4 && !pendingRefs_.empty() &&
+           markQueue_.canEnqueue()) {
+        markQueue_.enqueue(pendingRefs_.front());
+        pendingRefs_.pop_front();
+        ++refsEnqueued_;
+        ++moved;
+    }
+}
+
+void
+Tracer::issue(Tick now)
+{
+    if (!mayIssue()) {
+        ++throttled_;
+        return;
+    }
+
+    // Pop the next object when idle.
+    if (!active_) {
+        if (traceQueue_.empty()) {
+            return;
+        }
+        const TraceEntry entry = traceQueue_.pop();
+        Active a;
+        a.ref = entry.ref;
+        a.numRefs = entry.numRefs;
+        a.cursor = ObjectModel::refsBase(entry.ref, entry.numRefs);
+        a.end = entry.ref;
+        if (config_.layout == runtime::Layout::Tib) {
+            a.needTibPtr = true;
+        }
+        active_ = a;
+        ++objects_;
+    }
+    Active &a = *active_;
+
+    // Conventional-layout preamble: dependent TIB pointer + metadata.
+    if (a.needTibPtr || a.awaitTibPtr) {
+        if (a.awaitTibPtr) {
+            return; // Dependent load: must wait for the pointer.
+        }
+        const Addr ptr_va = a.ref + wordBytes;
+        const auto pa = translate(ptr_va);
+        if (!pa) {
+            return;
+        }
+        mem::MemRequest req;
+        req.paddr = *pa;
+        req.size = wordBytes;
+        req.op = mem::Op::Read;
+        req.tag = kindTibPtr;
+        if (!port_->canSend(req)) {
+            return;
+        }
+        port_->send(req, now);
+        ++inFlight_;
+        ++requests_;
+        ++tibReads_;
+        bytesRequested_ += wordBytes;
+        a.needTibPtr = false;
+        a.awaitTibPtr = true;
+        return;
+    }
+    if (a.needTibMeta || a.awaitTibMeta) {
+        if (a.awaitTibMeta) {
+            return; // Dependent: offsets unknown until the TIB loads.
+        }
+        const auto pa = translate(a.tibAddr);
+        if (!pa) {
+            return;
+        }
+        mem::MemRequest req;
+        req.paddr = *pa;
+        req.size = wordBytes;
+        req.op = mem::Op::Read;
+        req.tag = kindTibMeta;
+        if (!port_->canSend(req)) {
+            return;
+        }
+        port_->send(req, now);
+        ++inFlight_;
+        ++requests_;
+        ++tibReads_;
+        bytesRequested_ += wordBytes;
+        a.needTibMeta = false;
+        a.awaitTibMeta = true;
+        return;
+    }
+
+    if (a.cursor >= a.end) {
+        active_.reset();
+        return;
+    }
+
+    const auto pa = translate(a.cursor);
+    if (!pa) {
+        return; // Blocking TLB miss.
+    }
+
+    if (config_.layout == runtime::Layout::Tib) {
+        // Scattered fields: one slot per request, preceded by an
+        // offset-word read from the TIB for every group of eight
+        // slots (the offsets tell a real tracer where the fields
+        // are, so the group's slot reads depend on it).
+        const std::uint32_t group = a.slotsIssued / 8;
+        if (a.slotsIssued % 8 == 0 && a.nextOffsetGroup == group) {
+            const Addr off_va =
+                a.tibAddr + wordBytes + Addr(group) * wordBytes;
+            const auto off_pa = translate(off_va);
+            if (!off_pa) {
+                return;
+            }
+            mem::MemRequest off;
+            off.paddr = *off_pa;
+            off.size = wordBytes;
+            off.op = mem::Op::Read;
+            off.tag = kindTibMeta;
+            if (!port_->canSend(off)) {
+                return;
+            }
+            port_->send(off, now);
+            ++inFlight_;
+            ++requests_;
+            ++tibReads_;
+            bytesRequested_ += wordBytes;
+            a.nextOffsetGroup = group + 1;
+            return; // One request per cycle.
+        }
+        mem::MemRequest req;
+        req.paddr = *pa;
+        req.size = wordBytes;
+        req.op = mem::Op::Read;
+        req.tag = kindRefData;
+        if (!port_->canSend(req)) {
+            return;
+        }
+        port_->send(req, now);
+        ++inFlight_;
+        ++requests_;
+        bytesRequested_ += wordBytes;
+        ++a.slotsIssued;
+        a.cursor += wordBytes;
+        return;
+    }
+
+    // Bidirectional layout: largest aligned transfer that tiles the
+    // remaining reference section, clipped at the page boundary
+    // (aligned power-of-two transfers never straddle a page).
+    const std::uint64_t remaining = a.end - a.cursor;
+    const unsigned size = nextTransferSize(a.cursor, remaining);
+    if (alignDown(a.cursor, pageBytes) !=
+        alignDown(a.cursor + size - 1, pageBytes)) {
+        panic("aligned transfer crosses a page");
+    }
+    mem::MemRequest req;
+    req.paddr = *pa;
+    req.size = size;
+    req.op = mem::Op::Read;
+    req.tag = kindRefData;
+    if (!port_->canSend(req)) {
+        return;
+    }
+    port_->send(req, now);
+    ++inFlight_;
+    ++requests_;
+    bytesRequested_ += size;
+    const Addr old_page = alignDown(a.cursor, pageBytes);
+    a.cursor += size;
+    if (a.cursor < a.end &&
+        alignDown(a.cursor, pageBytes) != old_page) {
+        ++pageCrossings_; // Next transfer re-translates (paper Fig 14).
+    }
+    if (a.cursor >= a.end) {
+        active_.reset();
+    }
+}
+
+void
+Tracer::tick(Tick now)
+{
+    drainPendingRefs();
+    issue(now);
+}
+
+void
+Tracer::reset()
+{
+    panic_if(!idle(), "tracer reset while active");
+    tlb_.flush();
+    walkDone_ = false;
+}
+
+void
+Tracer::resetStats()
+{
+    requests_.reset();
+    bytesRequested_.reset();
+    refsEnqueued_.reset();
+    nullsDropped_.reset();
+    objects_.reset();
+    pageCrossings_.reset();
+    throttled_.reset();
+    tibReads_.reset();
+    tlb_.resetStats();
+}
+
+} // namespace hwgc::core

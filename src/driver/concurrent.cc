@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Concurrent marking harness implementation.
+ */
+
+#include "concurrent.h"
+
+#include "runtime/heap_layout.h"
+
+namespace hwgc::driver
+{
+
+using runtime::HeapLayout;
+using runtime::ObjRef;
+using runtime::StatusWord;
+
+ConcurrentMarkLab::ConcurrentMarkLab(runtime::Heap &heap,
+                                     workload::GraphBuilder &builder,
+                                     core::HwgcDevice &device,
+                                     const ConcurrentParams &params)
+    : heap_(heap), builder_(builder), device_(device), params_(params),
+      rng_(params.seed)
+{
+}
+
+void
+ConcurrentMarkLab::logBarrier(ObjRef ref)
+{
+    if (ref == runtime::nullRef) {
+        return;
+    }
+    fatal_if((regionCount_ + 1) * wordBytes > HeapLayout::hwgcSpaceSize,
+             "barrier log overflowed hwgc-space");
+    heap_.write(HeapLayout::hwgcSpaceBase + regionCount_ * wordBytes,
+                ref);
+    ++regionCount_;
+    ++barrierEntries_;
+    device_.rootReader().extend(regionCount_);
+}
+
+void
+ConcurrentMarkLab::mutateOnce()
+{
+    if (mutatorView_.empty()) {
+        return;
+    }
+
+    if (rng_.chance(params_.allocFraction)) {
+        // Allocate (black, if configured) and attach to a random
+        // object the mutator holds.
+        const ObjRef fresh = heap_.allocate(
+            std::uint32_t(rng_.range(0, 4)),
+            std::uint32_t(rng_.range(0, 6)));
+        mutatorView_.push_back(fresh);
+        const ObjRef anchor =
+            mutatorView_[rng_.below(mutatorView_.size())];
+        const std::uint32_t n = heap_.numRefs(anchor);
+        if (n > 0) {
+            const std::uint32_t slot = std::uint32_t(rng_.below(n));
+            const ObjRef old = heap_.getRef(anchor, slot);
+            if (params_.useWriteBarrier) {
+                logBarrier(old);
+            }
+            heap_.setRef(anchor, slot, fresh);
+        }
+        return;
+    }
+
+    // Move a reference: the Fig 3 pattern — load a reference into a
+    // "register", remove it from its old location, store it
+    // elsewhere. Without the barrier this can hide the target from
+    // the concurrent traversal.
+    const ObjRef src = mutatorView_[rng_.below(mutatorView_.size())];
+    const std::uint32_t src_refs = heap_.numRefs(src);
+    if (src_refs == 0) {
+        return;
+    }
+    const std::uint32_t src_slot = std::uint32_t(rng_.below(src_refs));
+    const ObjRef moved = heap_.getRef(src, src_slot); // "register"
+    if (params_.useWriteBarrier) {
+        logBarrier(moved); // Old value of the slot being overwritten.
+    }
+    heap_.setRef(src, src_slot, runtime::nullRef);
+
+    const ObjRef dst = mutatorView_[rng_.below(mutatorView_.size())];
+    const std::uint32_t dst_refs = heap_.numRefs(dst);
+    if (dst_refs > 0 && moved != runtime::nullRef) {
+        const std::uint32_t dst_slot =
+            std::uint32_t(rng_.below(dst_refs));
+        if (params_.useWriteBarrier) {
+            logBarrier(heap_.getRef(dst, dst_slot));
+        }
+        heap_.setRef(dst, dst_slot, moved);
+    }
+}
+
+ConcurrentResult
+ConcurrentMarkLab::run()
+{
+    ConcurrentResult result;
+
+    heap_.publishRoots();
+    regionCount_ = heap_.publishedRootCount();
+    heap_.setAllocateBlack(params_.allocateBlack);
+
+    // The snapshot the collector must preserve.
+    const auto snapshot = heap_.computeReachable();
+    result.startReachable = snapshot.size();
+
+    // The mutator can only act on objects it can reach — exactly the
+    // snapshot (plus its own new allocations, added as it goes). A
+    // reference to an unreachable object cannot exist in real code.
+    mutatorView_.clear();
+    for (const auto &obj : heap_.objects()) {
+        if (snapshot.count(obj.ref) != 0) {
+            mutatorView_.push_back(obj.ref);
+        }
+    }
+
+    device_.configure(heap_);
+    device_.regs().rootCount = regionCount_;
+    device_.rootReader().start(HeapLayout::hwgcSpaceBase, regionCount_);
+
+    auto &system = device_.system();
+    const Tick start = system.now();
+    std::uint64_t remaining = params_.totalMutations;
+    while (true) {
+        system.run(params_.epochCycles);
+        if (remaining > 0) {
+            for (unsigned i = 0;
+                 i < params_.mutationsPerEpoch && remaining > 0; ++i) {
+                mutateOnce();
+                --remaining;
+            }
+        } else if (!device_.rootReader().busy() &&
+                   device_.marker().idle() && device_.tracer().idle() &&
+                   device_.markQueue().empty()) {
+            // Mutator quiesced and the traversal drained.
+            const bool idle = system.runUntilIdle(10'000'000);
+            panic_if(!idle, "concurrent mark failed to drain");
+            break;
+        }
+        panic_if(system.now() - start > 4'000'000'000ULL,
+                 "concurrent mark diverged");
+    }
+    result.markCycles = system.now() - start;
+    result.mutations = params_.totalMutations - remaining;
+    result.barrierEntries = barrierEntries_;
+
+    heap_.setAllocateBlack(false);
+
+    // Snapshot invariant: everything reachable at the start is marked.
+    for (const ObjRef ref : snapshot) {
+        if (!StatusWord::marked(heap_.read(ref))) {
+            ++result.lostObjects;
+        }
+    }
+    result.markedAtEnd = heap_.countMarked();
+    const auto end_reachable = heap_.computeReachable();
+    std::uint64_t marked_unreachable = 0;
+    for (const auto &obj : heap_.objects()) {
+        if (StatusWord::marked(heap_.read(obj.ref)) &&
+            end_reachable.count(obj.ref) == 0) {
+            ++marked_unreachable;
+        }
+    }
+    result.floatingGarbage = marked_unreachable;
+    return result;
+}
+
+} // namespace hwgc::driver

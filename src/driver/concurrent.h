@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Concurrent marking on the GC unit (paper §IV-D).
+ *
+ * The paper's concurrent design needs no CPU changes: mutators apply
+ * a snapshot-style write barrier that appends every overwritten
+ * reference "into the same region in memory that is used to
+ * communicate the roots", and the traversal unit streams that region
+ * into the mark queue while mutators keep running. Objects allocated
+ * during the mark are born black. Under these two rules every object
+ * reachable when the mark began is guaranteed to be marked (the
+ * snapshot-at-the-beginning invariant), which is exactly what rules
+ * out the Fig 3 hidden-object race.
+ *
+ * ConcurrentMarkLab interleaves a mutator (modeled as functional heap
+ * mutations on other cores, with the barrier's log appends) with the
+ * ticking traversal unit, then quiesces and reports whether the
+ * invariant held, how much barrier traffic was generated, and how
+ * much floating garbage the snapshot retained.
+ */
+
+#ifndef HWGC_DRIVER_CONCURRENT_H
+#define HWGC_DRIVER_CONCURRENT_H
+
+#include <unordered_set>
+
+#include "core/hwgc_device.h"
+#include "sim/random.h"
+#include "workload/graph_gen.h"
+
+namespace hwgc::driver
+{
+
+/** Concurrent-mark experiment configuration. */
+struct ConcurrentParams
+{
+    /** Mutator actions applied per epoch (between unit epochs). */
+    unsigned mutationsPerEpoch = 2;
+
+    /** Unit cycles per mutator epoch (mutator speed knob). */
+    Tick epochCycles = 400;
+
+    /** Total mutator actions before the mutator quiesces. */
+    std::uint64_t totalMutations = 1500;
+
+    /** Apply the §IV-D write barrier (off shows the Fig 3 race). */
+    bool useWriteBarrier = true;
+
+    /** Allocate new objects black during the mark. */
+    bool allocateBlack = true;
+
+    /** Fraction of mutations that allocate a new object. */
+    double allocFraction = 0.3;
+
+    std::uint64_t seed = 99;
+};
+
+/** Outcome of one concurrent mark. */
+struct ConcurrentResult
+{
+    Tick markCycles = 0;
+    std::uint64_t mutations = 0;
+    std::uint64_t barrierEntries = 0;
+    std::uint64_t startReachable = 0;  //!< |snapshot| at mark start.
+    std::uint64_t lostObjects = 0;     //!< Snapshot objects unmarked
+                                       //!< at the end (must be 0 with
+                                       //!< the barrier).
+    std::uint64_t markedAtEnd = 0;
+    std::uint64_t floatingGarbage = 0; //!< Marked but unreachable at
+                                       //!< the end (snapshot slack).
+};
+
+/** Runs one concurrent mark with an interleaved mutator. */
+class ConcurrentMarkLab
+{
+  public:
+    ConcurrentMarkLab(runtime::Heap &heap,
+                      workload::GraphBuilder &builder,
+                      core::HwgcDevice &device,
+                      const ConcurrentParams &params);
+
+    /** Executes the concurrent mark to completion. */
+    ConcurrentResult run();
+
+  private:
+    /** One mutator action: overwrite an edge or allocate black. */
+    void mutateOnce();
+
+    /** Appends @p ref to the barrier log in hwgc-space. */
+    void logBarrier(runtime::ObjRef ref);
+
+    runtime::Heap &heap_;
+    workload::GraphBuilder &builder_;
+    core::HwgcDevice &device_;
+    ConcurrentParams params_;
+    Rng rng_;
+
+    std::uint64_t regionCount_ = 0; //!< Entries in hwgc-space.
+    std::uint64_t barrierEntries_ = 0;
+    std::vector<runtime::ObjRef> mutatorView_; //!< Objects it may touch.
+};
+
+} // namespace hwgc::driver
+
+#endif // HWGC_DRIVER_CONCURRENT_H

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Software Mark & Sweep implementation.
+ *
+ * Branch call-site ids are stable small constants so the 2-bit
+ * predictor model behaves like real per-PC predictors.
+ */
+
+#include "sw_collector.h"
+
+#include "runtime/block_table.h"
+#include "runtime/heap_layout.h"
+#include "runtime/object_model.h"
+
+namespace hwgc::gc
+{
+
+using runtime::BlockTableEntry;
+using runtime::CellStart;
+using runtime::HeapLayout;
+using runtime::ObjectModel;
+using runtime::ObjRef;
+using runtime::StatusWord;
+
+namespace
+{
+
+/** Branch predictor call sites in the collector's inner loops. */
+enum BranchSite : unsigned
+{
+    siteQueueEmpty = 1,
+    siteAlreadyMarked,
+    siteRefNull,
+    siteHasRefs,
+    siteCellLive,
+    siteCellMarked,
+    siteQueueWrap,
+};
+
+} // namespace
+
+SwCollector::SwCollector(runtime::Heap &heap, cpu::CoreModel &core)
+    : heap_(heap), core_(core)
+{
+}
+
+GcResult
+SwCollector::mark()
+{
+    GcResult result;
+    const Tick start = core_.cycles();
+
+    const Addr qbase = HeapLayout::swQueueBase;
+    const std::uint64_t qcap = HeapLayout::swQueueSize / wordBytes;
+    std::uint64_t head = 0; // Pop index (in words).
+    std::uint64_t tail = 0; // Push index.
+
+    // Root scan: stream the published roots into the mark queue.
+    const std::uint64_t num_roots = heap_.publishedRootCount();
+    for (std::uint64_t i = 0; i < num_roots; ++i) {
+        const Word root =
+            core_.load(HeapLayout::hwgcSpaceBase + i * wordBytes);
+        core_.branch(siteRefNull, root == runtime::nullRef);
+        if (root != runtime::nullRef) {
+            core_.store(qbase + (tail % qcap) * wordBytes, root);
+            ++tail;
+            core_.chargeOps(1); // Index update.
+        }
+    }
+
+    // Breadth-first traversal.
+    while (true) {
+        core_.branch(siteQueueEmpty, head == tail);
+        if (head == tail) {
+            break;
+        }
+        const ObjRef ref =
+            core_.load(qbase + (head % qcap) * wordBytes);
+        ++head;
+        core_.chargeOps(2); // Index update + wrap check.
+
+        // Mark test: load, test, store (the C collector's fast path).
+        const Word hdr = core_.load(ref);
+        const bool marked = StatusWord::marked(hdr);
+        core_.branch(siteAlreadyMarked, marked);
+        if (marked) {
+            continue;
+        }
+        core_.store(ref, hdr | StatusWord::markBit);
+        ++result.objectsMarked;
+
+        const std::uint32_t n = StatusWord::numRefs(hdr);
+        core_.chargeOps(2); // Extract #REFS, compute slot base.
+        core_.branch(siteHasRefs, n != 0);
+        const Addr slots = ObjectModel::refsBase(ref, n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const Word target = core_.load(slots + Addr(i) * wordBytes);
+            ++result.refsTraced;
+            core_.branch(siteRefNull, target == runtime::nullRef);
+            core_.chargeOps(1); // Loop index.
+            if (target != runtime::nullRef) {
+                fatal_if(tail - head >= qcap,
+                         "software mark queue overflow");
+                core_.store(qbase + (tail % qcap) * wordBytes, target);
+                ++tail;
+                core_.chargeOps(1);
+            }
+        }
+    }
+
+    result.markCycles = core_.cycles() - start;
+    return result;
+}
+
+GcResult
+SwCollector::sweep()
+{
+    GcResult result;
+    const Tick start = core_.cycles();
+
+    const Addr table = heap_.blockTableBase();
+    const std::size_t num_blocks = heap_.blocks().size();
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        const Addr entry = BlockTableEntry::addr(table, b);
+        const Addr base = core_.load(entry);
+        const Word geom = core_.load(entry + wordBytes);
+        const std::uint32_t cell_bytes = BlockTableEntry::cellBytes(geom);
+        const std::uint64_t cells = runtime::blockBytes / cell_bytes;
+        core_.chargeOps(4); // Geometry decode, loop setup.
+
+        // Ascending scan; free cells are relinked in ascending order.
+        Addr free_head = runtime::nullRef;
+        Addr prev_free = runtime::nullRef;
+        std::uint32_t free_cells = 0;
+        bool has_live = false;
+
+        for (std::uint64_t c = 0; c < cells; ++c) {
+            const Addr cell = base + c * cell_bytes;
+            const Word w0 = core_.load(cell);
+            core_.chargeOps(2); // Address increment + decode.
+            const bool live_cell = CellStart::isLive(w0);
+            core_.branch(siteCellLive, live_cell);
+
+            bool reclaim;
+            if (live_cell) {
+                const std::uint32_t n = CellStart::numRefs(w0);
+                const Addr hdr_addr = ObjectModel::refFromCell(cell, n);
+                const Word hdr = core_.load(hdr_addr);
+                core_.chargeOps(2);
+                const bool marked = StatusWord::marked(hdr);
+                core_.branch(siteCellMarked, marked);
+                reclaim = !marked; // Live but unreachable -> free it.
+                if (marked) {
+                    has_live = true;
+                }
+            } else {
+                reclaim = true; // Already-free cell: relink it.
+            }
+
+            if (reclaim) {
+                core_.store(cell, CellStart::makeFree(runtime::nullRef));
+                if (prev_free != runtime::nullRef) {
+                    core_.store(prev_free, CellStart::makeFree(cell));
+                } else {
+                    free_head = cell;
+                    core_.chargeOps(1);
+                }
+                prev_free = cell;
+                ++free_cells;
+                ++result.cellsFreed;
+            }
+        }
+
+        core_.store(entry + 2 * wordBytes, free_head);
+        core_.store(entry + 3 * wordBytes,
+                    BlockTableEntry::makeSummary(free_cells, has_live));
+        ++result.blocksSwept;
+    }
+
+    result.sweepCycles = core_.cycles() - start;
+    return result;
+}
+
+GcResult
+SwCollector::collect()
+{
+    GcResult result = mark();
+    const GcResult swept = sweep();
+    result.sweepCycles = swept.sweepCycles;
+    result.cellsFreed = swept.cellsFreed;
+    result.blocksSwept = swept.blocksSwept;
+    return result;
+}
+
+} // namespace hwgc::gc

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Heap invariant checker implementation.
+ */
+
+#include "verifier.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "runtime/block_table.h"
+#include "runtime/object_model.h"
+
+namespace hwgc::gc
+{
+
+using runtime::BlockTableEntry;
+using runtime::CellStart;
+using runtime::ObjectModel;
+using runtime::StatusWord;
+
+namespace
+{
+
+VerifyReport
+fail(std::string message)
+{
+    VerifyReport report;
+    report.ok = false;
+    report.error = std::move(message);
+    return report;
+}
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << a;
+    return os.str();
+}
+
+} // namespace
+
+VerifyReport
+verifyMarks(const runtime::Heap &heap)
+{
+    VerifyReport report;
+    const auto reachable = heap.computeReachable();
+    auto &mem = const_cast<runtime::Heap &>(heap);
+    for (const auto &obj : heap.objects()) {
+        const bool marked = StatusWord::marked(mem.read(obj.ref));
+        const bool should = reachable.count(obj.ref) != 0;
+        if (marked != should) {
+            return fail("object " + hex(obj.ref) + (should
+                        ? " reachable but unmarked"
+                        : " unreachable but marked"));
+        }
+        ++report.checked;
+    }
+    return report;
+}
+
+VerifyReport
+verifyFreeLists(const runtime::Heap &heap)
+{
+    VerifyReport report;
+    auto &mem = const_cast<runtime::Heap &>(heap);
+    const Addr table = heap.blockTableBase();
+    for (std::size_t b = 0; b < heap.blocks().size(); ++b) {
+        const auto &info = heap.blocks()[b];
+        const Addr entry = BlockTableEntry::addr(table, b);
+        const std::uint64_t cells = runtime::blockBytes / info.cellBytes;
+        Addr cursor = mem.read(entry + 2 * wordBytes);
+        std::uint64_t length = 0;
+        while (cursor != runtime::nullRef) {
+            if (cursor < info.base ||
+                cursor >= info.base + runtime::blockBytes) {
+                return fail("free link " + hex(cursor) +
+                            " escapes block " + hex(info.base));
+            }
+            if ((cursor - info.base) % info.cellBytes != 0) {
+                return fail("free link " + hex(cursor) +
+                            " not on a cell boundary");
+            }
+            const Word w0 = mem.read(cursor);
+            if (CellStart::isLive(w0)) {
+                return fail("live cell " + hex(cursor) +
+                            " on a free list");
+            }
+            if (++length > cells) {
+                return fail("free list of block " + hex(info.base) +
+                            " cycles");
+            }
+            cursor = CellStart::nextFree(w0);
+        }
+        ++report.checked;
+    }
+    return report;
+}
+
+VerifyReport
+verifySweptHeap(const runtime::Heap &heap)
+{
+    VerifyReport lists = verifyFreeLists(heap);
+    if (!lists.ok) {
+        return lists;
+    }
+
+    VerifyReport report;
+    auto &mem = const_cast<runtime::Heap &>(heap);
+    const Addr table = heap.blockTableBase();
+    for (std::size_t b = 0; b < heap.blocks().size(); ++b) {
+        const auto &info = heap.blocks()[b];
+        const Addr entry = BlockTableEntry::addr(table, b);
+        const std::uint64_t cells = runtime::blockBytes / info.cellBytes;
+
+        // Gather the free set.
+        std::unordered_set<Addr> free_cells;
+        Addr cursor = mem.read(entry + 2 * wordBytes);
+        while (cursor != runtime::nullRef) {
+            free_cells.insert(cursor);
+            cursor = CellStart::nextFree(mem.read(cursor));
+        }
+
+        bool has_live = false;
+        for (std::uint64_t c = 0; c < cells; ++c) {
+            const Addr cell = info.base + c * info.cellBytes;
+            const Word w0 = mem.read(cell);
+            if (CellStart::isLive(w0)) {
+                const std::uint32_t n = CellStart::numRefs(w0);
+                const Word hdr =
+                    mem.read(ObjectModel::refFromCell(cell, n));
+                if (!StatusWord::marked(hdr)) {
+                    return fail("unmarked live cell " + hex(cell) +
+                                " survived the sweep");
+                }
+                has_live = true;
+            } else if (free_cells.count(cell) == 0) {
+                return fail("free cell " + hex(cell) +
+                            " missing from its free list");
+            }
+            ++report.checked;
+        }
+
+        const Word summary = mem.read(entry + 3 * wordBytes);
+        if (BlockTableEntry::freeCells(summary) != free_cells.size()) {
+            return fail("block " + hex(info.base) +
+                        " summary free-count mismatch");
+        }
+        if (BlockTableEntry::hasLive(summary) != has_live) {
+            return fail("block " + hex(info.base) +
+                        " summary has-live mismatch");
+        }
+    }
+    return report;
+}
+
+} // namespace hwgc::gc

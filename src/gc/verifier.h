@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Heap invariant checking shared by tests and the debug tooling.
+ *
+ * The paper debugged its unit by swapping libhwgc for "a version that
+ * performs software checks of the hardware unit" (§V-E); these
+ * functions are that checker.
+ */
+
+#ifndef HWGC_GC_VERIFIER_H
+#define HWGC_GC_VERIFIER_H
+
+#include <string>
+
+#include "runtime/heap.h"
+
+namespace hwgc::gc
+{
+
+/** Outcome of one verification pass. */
+struct VerifyReport
+{
+    bool ok = true;
+    std::string error;       //!< First violation found (empty if ok).
+    std::uint64_t checked = 0;
+};
+
+/**
+ * Checks that the set of mark bits equals the reachability oracle:
+ * every reachable object marked, every unreachable object unmarked.
+ */
+VerifyReport verifyMarks(const runtime::Heap &heap);
+
+/**
+ * Checks free-list well-formedness for every MarkSweep block: links
+ * stay inside their block, land on cell boundaries, never point at
+ * live cells and never cycle.
+ */
+VerifyReport verifyFreeLists(const runtime::Heap &heap);
+
+/**
+ * Post-sweep invariant: every cell of every block is either a marked
+ * live object or on its block's free list, and the block-table
+ * summaries match.
+ */
+VerifyReport verifySweptHeap(const runtime::Heap &heap);
+
+} // namespace hwgc::gc
+
+#endif // HWGC_GC_VERIFIER_H

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Round-robin interconnect implementation.
+ */
+
+#include "interconnect.h"
+
+#include <algorithm>
+
+namespace hwgc::mem
+{
+
+Interconnect::Interconnect(std::string name,
+                           const InterconnectParams &params,
+                           MemDevice &downstream)
+    : Clocked(std::move(name)), params_(params), downstream_(downstream)
+{
+    downstream_.setResponder(this);
+}
+
+unsigned
+Interconnect::registerClient(MemResponder *responder, std::string label)
+{
+    Port port;
+    port.responder = responder;
+    port.label = std::move(label);
+    ports_.push_back(std::move(port));
+    return unsigned(ports_.size() - 1);
+}
+
+void
+Interconnect::setClientResponder(unsigned client, MemResponder *responder)
+{
+    panic_if(client >= ports_.size(), "unknown client %u", client);
+    ports_[client].responder = responder;
+}
+
+bool
+Interconnect::canAccept(unsigned client) const
+{
+    panic_if(client >= ports_.size(), "unknown client %u", client);
+    return ports_[client].requests.size() < params_.clientQueueDepth;
+}
+
+void
+Interconnect::sendRequest(const MemRequest &req, Tick now)
+{
+    panic_if(req.client >= ports_.size(), "unknown client %u",
+             req.client);
+    panic_if(!canAccept(req.client), "client %u queue overflow",
+             req.client);
+    panic_if(!validTransfer(req.paddr, req.size),
+             "client %u: invalid transfer addr=%#llx size=%u", req.client,
+             (unsigned long long)req.paddr, req.size);
+    Port &port = ports_[req.client];
+    port.requests.push_back({req, now + params_.requestLatency});
+    ++port.numRequests;
+    port.numBytes += req.size;
+}
+
+void
+Interconnect::onResponse(const MemResponse &resp, Tick now)
+{
+    pendingResponses_.push_back({resp, now + params_.responseLatency});
+}
+
+void
+Interconnect::tick(Tick now)
+{
+    ++cycles_;
+    bool moved = false;
+
+    // Token-bucket throttle (§VII): tokens accrue per cycle and are
+    // spent per granted byte; the bucket is capped at a couple of
+    // line transfers so idle periods cannot bank unbounded bursts.
+    if (params_.throttleBytesPerCycle > 0.0) {
+        throttleTokens_ = std::min(
+            throttleTokens_ + params_.throttleBytesPerCycle,
+            4.0 * double(lineBytes));
+    }
+
+    // Round-robin grant of up to grantsPerCycle requests.
+    unsigned granted = 0;
+    const unsigned n = unsigned(ports_.size());
+    for (unsigned i = 0; i < n && granted < params_.grantsPerCycle; ++i) {
+        const unsigned idx = (rrNext_ + i) % n;
+        Port &port = ports_[idx];
+        if (port.requests.empty() ||
+            port.requests.front().readyAt > now) {
+            continue;
+        }
+        const MemRequest &req = port.requests.front().req;
+        if (!downstream_.canAccept(req)) {
+            continue;
+        }
+        // Budget real DRAM bandwidth: a sub-line request still costs
+        // the DRAM a full BL8 burst, so charge line granularity.
+        const double cost =
+            double(std::max<unsigned>(req.size, lineBytes));
+        if (params_.throttleBytesPerCycle > 0.0 &&
+            throttleTokens_ < cost) {
+            ++throttledGrants_;
+            continue; // Out of bandwidth budget this cycle.
+        }
+        if (params_.throttleBytesPerCycle > 0.0) {
+            throttleTokens_ -= cost;
+        }
+        downstream_.sendRequest(req, now);
+        port.requests.pop_front();
+        ++granted;
+        moved = true;
+        rrNext_ = (idx + 1) % n;
+    }
+
+    // Deliver due responses (in arrival order).
+    while (!pendingResponses_.empty() &&
+           pendingResponses_.front().readyAt <= now) {
+        const MemResponse resp = pendingResponses_.front().resp;
+        pendingResponses_.pop_front();
+        Port &port = ports_[resp.req.client];
+        if (port.responder != nullptr) {
+            port.responder->onResponse(resp, now);
+        }
+        moved = true;
+    }
+
+    if (moved) {
+        ++busBusy_;
+    }
+}
+
+bool
+Interconnect::busy() const
+{
+    if (!pendingResponses_.empty()) {
+        return true;
+    }
+    for (const auto &port : ports_) {
+        if (!port.requests.empty()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Interconnect::resetStats()
+{
+    for (auto &port : ports_) {
+        port.numRequests = 0;
+        port.numBytes = 0;
+    }
+    busBusy_.reset();
+    cycles_.reset();
+}
+
+std::uint64_t
+Interconnect::clientRequests(unsigned client) const
+{
+    return ports_.at(client).numRequests;
+}
+
+std::uint64_t
+Interconnect::clientBytes(unsigned client) const
+{
+    return ports_.at(client).numBytes;
+}
+
+const std::string &
+Interconnect::clientLabel(unsigned client) const
+{
+    return ports_.at(client).label;
+}
+
+} // namespace hwgc::mem

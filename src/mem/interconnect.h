@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The TileLink-like on-chip interconnect (system bus).
+ *
+ * Clients register a response receiver and get back a client id; the
+ * bus round-robin arbitrates per-client request queues into the
+ * downstream memory device and routes responses back by client id.
+ * The paper instruments exactly this port ("our TileLink port is busy
+ * 88% of all mark cycles"), so the bus keeps utilization statistics
+ * and per-client request/byte counters (Fig 18b).
+ */
+
+#ifndef HWGC_MEM_INTERCONNECT_H
+#define HWGC_MEM_INTERCONNECT_H
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "mem/mem_device.h"
+#include "sim/stats.h"
+
+namespace hwgc::mem
+{
+
+/** Interconnect configuration. */
+struct InterconnectParams
+{
+    unsigned clientQueueDepth = 4;  //!< Requests buffered per client.
+    unsigned grantsPerCycle = 1;    //!< Channel beats per cycle.
+    Tick requestLatency = 6;        //!< Client -> memory hops.
+    Tick responseLatency = 6;       //!< Memory -> client hops.
+
+    /**
+     * Bandwidth throttle (paper §VII "Bandwidth Throttling"): caps
+     * the data granted through this bus to the given bytes/cycle via
+     * a token bucket, so a GC unit "only use[s] residual bandwidth"
+     * instead of interfering with the application. 0 disables.
+     */
+    double throttleBytesPerCycle = 0.0;
+};
+
+/** Round-robin arbitrated system bus in front of one memory device. */
+class Interconnect : public Clocked, public MemResponder
+{
+  public:
+    Interconnect(std::string name, const InterconnectParams &params,
+                 MemDevice &downstream);
+
+    /**
+     * Registers a client port.
+     * @param responder Receiver of this client's responses (may be
+     *        nullptr for write-only producers that ignore acks).
+     * @param label Stable label used in per-client statistics.
+     * @return The client id to place into MemRequest::client.
+     */
+    unsigned registerClient(MemResponder *responder, std::string label);
+
+    /** Rewires a client's responder (breaks construction cycles). */
+    void setClientResponder(unsigned client, MemResponder *responder);
+
+    /** True if client @p client can enqueue one more request. */
+    bool canAccept(unsigned client) const;
+
+    /** Enqueues a request from its client port. */
+    void sendRequest(const MemRequest &req, Tick now);
+
+    // MemResponder interface (responses arriving from the device).
+    void onResponse(const MemResponse &resp, Tick now) override;
+
+    // Clocked interface.
+    void tick(Tick now) override;
+    bool busy() const override;
+
+    void resetStats();
+
+    /** @name Statistics @{ */
+    std::uint64_t clientRequests(unsigned client) const;
+    std::uint64_t clientBytes(unsigned client) const;
+    const std::string &clientLabel(unsigned client) const;
+    unsigned numClients() const { return unsigned(ports_.size()); }
+    std::uint64_t busBusyCycles() const { return busBusy_.value(); }
+    std::uint64_t observedCycles() const { return cycles_.value(); }
+    std::uint64_t throttledGrants() const
+    {
+        return throttledGrants_.value();
+    }
+    /** @} */
+
+  private:
+    struct TimedReq
+    {
+        MemRequest req;
+        Tick readyAt;
+    };
+
+    struct TimedResp
+    {
+        MemResponse resp;
+        Tick readyAt;
+    };
+
+    struct Port
+    {
+        MemResponder *responder = nullptr;
+        std::string label;
+        std::deque<TimedReq> requests;
+        std::uint64_t numRequests = 0;
+        std::uint64_t numBytes = 0;
+    };
+
+    InterconnectParams params_;
+    MemDevice &downstream_;
+    std::vector<Port> ports_;
+    std::deque<TimedResp> pendingResponses_;
+    unsigned rrNext_ = 0;
+    double throttleTokens_ = 0.0;
+    stats::Scalar throttledGrants_{"throttledGrants"};
+
+    stats::Scalar busBusy_{"busBusyCycles"};
+    stats::Scalar cycles_{"cycles"};
+};
+
+} // namespace hwgc::mem
+
+#endif // HWGC_MEM_INTERCONNECT_H

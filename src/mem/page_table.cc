@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Page-table construction and functional walking.
+ */
+
+#include "page_table.h"
+
+#include "sim/logging.h"
+
+namespace hwgc::mem
+{
+
+PageTable::PageTable(PhysMem &mem, Addr table_region,
+                     Addr table_region_size)
+    : mem_(mem), regionBase_(table_region), regionSize_(table_region_size)
+{
+    panic_if(table_region % pageBytes != 0,
+             "page-table region must be page aligned");
+    root_ = allocTablePage();
+}
+
+Addr
+PageTable::allocTablePage()
+{
+    panic_if((pagesUsed_ + 1ULL) * pageBytes > regionSize_,
+             "page-table region exhausted (%u pages)", pagesUsed_);
+    const Addr page = regionBase_ + Addr(pagesUsed_) * pageBytes;
+    ++pagesUsed_;
+    mem_.zero(page, pageBytes);
+    return page;
+}
+
+unsigned
+PageTable::vpn(Addr va, unsigned level)
+{
+    // level 0 is the outermost (root) level; each index is 9 bits.
+    const unsigned shift = 12 + 9 * (ptLevels - 1 - level);
+    return unsigned((va >> shift) & 0x1ff);
+}
+
+void
+PageTable::map(Addr va, Addr pa, std::uint64_t len)
+{
+    panic_if(va % pageBytes != 0 || pa % pageBytes != 0 ||
+             len % pageBytes != 0,
+             "map arguments must be page aligned");
+    for (std::uint64_t off = 0; off < len; off += pageBytes) {
+        Addr table = root_;
+        for (unsigned level = 0; level < ptLevels - 1; ++level) {
+            const Addr pte_addr =
+                table + Addr(vpn(va + off, level)) * wordBytes;
+            Word pte = mem_.readWord(pte_addr);
+            if (!Pte::valid(pte)) {
+                const Addr next = allocTablePage();
+                pte = Pte::make(next, false);
+                mem_.writeWord(pte_addr, pte);
+            }
+            panic_if(Pte::leaf(pte), "remapping over a leaf PTE");
+            table = Pte::physAddr(pte);
+        }
+        const Addr leaf_addr =
+            table + Addr(vpn(va + off, ptLevels - 1)) * wordBytes;
+        mem_.writeWord(leaf_addr, Pte::make(pa + off, true));
+    }
+}
+
+void
+PageTable::mapSuper(Addr va, Addr pa, std::uint64_t len)
+{
+    const std::uint64_t super = leafPageBytes(ptLevels - 2);
+    panic_if(va % super != 0 || pa % super != 0 || len % super != 0,
+             "mapSuper arguments must be superpage aligned");
+    for (std::uint64_t off = 0; off < len; off += super) {
+        Addr table = root_;
+        for (unsigned level = 0; level < ptLevels - 2; ++level) {
+            const Addr pte_addr =
+                table + Addr(vpn(va + off, level)) * wordBytes;
+            Word pte = mem_.readWord(pte_addr);
+            if (!Pte::valid(pte)) {
+                const Addr next = allocTablePage();
+                pte = Pte::make(next, false);
+                mem_.writeWord(pte_addr, pte);
+            }
+            panic_if(Pte::leaf(pte), "remapping over a leaf PTE");
+            table = Pte::physAddr(pte);
+        }
+        const Addr leaf_addr =
+            table + Addr(vpn(va + off, ptLevels - 2)) * wordBytes;
+        mem_.writeWord(leaf_addr, Pte::make(pa + off, true));
+    }
+}
+
+PageTable::WalkResult
+PageTable::walk(Addr va) const
+{
+    WalkResult result;
+    Addr table = root_;
+    for (unsigned level = 0; level < ptLevels; ++level) {
+        const Addr pte_addr = table + Addr(vpn(va, level)) * wordBytes;
+        result.pteAddr[level] = pte_addr;
+        result.levels = level + 1;
+        const Word pte = mem_.readWord(pte_addr);
+        if (!Pte::valid(pte)) {
+            return result;
+        }
+        if (Pte::leaf(pte)) {
+            const std::uint64_t page = leafPageBytes(level);
+            result.valid = true;
+            result.pa = Pte::physAddr(pte) + (va & (page - 1));
+            result.pageBits = log2i(page);
+            return result;
+        }
+        table = Pte::physAddr(pte);
+    }
+    return result; // Ran out of levels without a leaf: invalid.
+}
+
+std::optional<Addr>
+PageTable::translate(Addr va) const
+{
+    const WalkResult r = walk(va);
+    if (!r.valid) {
+        return std::nullopt;
+    }
+    return r.pa;
+}
+
+} // namespace hwgc::mem

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Sparse functional physical memory implementation.
+ */
+
+#include "phys_mem.h"
+
+namespace hwgc::mem
+{
+
+PhysMem::Page &
+PhysMem::page(Addr addr)
+{
+    const std::uint64_t idx = addr / pageBytes;
+    auto it = pages_.find(idx);
+    if (it == pages_.end()) {
+        it = pages_.emplace(idx, std::make_unique<Page>(pageBytes, 0))
+                 .first;
+    }
+    return *it->second;
+}
+
+const PhysMem::Page *
+PhysMem::pageIfPresent(Addr addr) const
+{
+    const auto it = pages_.find(addr / pageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+void
+PhysMem::checkRange(Addr addr, std::uint64_t len) const
+{
+    panic_if(addr + len > size_ || addr + len < addr,
+             "physical access [%#llx, +%llu) out of range",
+             (unsigned long long)addr, (unsigned long long)len);
+}
+
+Word
+PhysMem::readWord(Addr addr) const
+{
+    checkRange(addr, wordBytes);
+    panic_if(addr % wordBytes != 0, "misaligned word read at %#llx",
+             (unsigned long long)addr);
+    const Page *p = pageIfPresent(addr);
+    if (p == nullptr) {
+        return 0;
+    }
+    Word v;
+    std::memcpy(&v, p->data() + addr % pageBytes, wordBytes);
+    return v;
+}
+
+void
+PhysMem::writeWord(Addr addr, Word value)
+{
+    checkRange(addr, wordBytes);
+    panic_if(addr % wordBytes != 0, "misaligned word write at %#llx",
+             (unsigned long long)addr);
+    std::memcpy(page(addr).data() + addr % pageBytes, &value, wordBytes);
+}
+
+Word
+PhysMem::fetchOrWord(Addr addr, Word operand)
+{
+    const Word old = readWord(addr);
+    writeWord(addr, old | operand);
+    return old;
+}
+
+void
+PhysMem::readBytes(Addr addr, void *dst, std::uint64_t len) const
+{
+    checkRange(addr, len);
+    auto *out = static_cast<std::uint8_t *>(dst);
+    while (len > 0) {
+        const std::uint64_t off = addr % pageBytes;
+        const std::uint64_t chunk = std::min<std::uint64_t>(
+            len, pageBytes - off);
+        const Page *p = pageIfPresent(addr);
+        if (p == nullptr) {
+            std::memset(out, 0, chunk);
+        } else {
+            std::memcpy(out, p->data() + off, chunk);
+        }
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysMem::writeBytes(Addr addr, const void *src, std::uint64_t len)
+{
+    checkRange(addr, len);
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    while (len > 0) {
+        const std::uint64_t off = addr % pageBytes;
+        const std::uint64_t chunk = std::min<std::uint64_t>(
+            len, pageBytes - off);
+        std::memcpy(page(addr).data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysMem::zero(Addr addr, std::uint64_t len)
+{
+    checkRange(addr, len);
+    while (len > 0) {
+        const std::uint64_t off = addr % pageBytes;
+        const std::uint64_t chunk = std::min<std::uint64_t>(
+            len, pageBytes - off);
+        std::memset(page(addr).data() + off, 0, chunk);
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+PhysMem::Snapshot
+PhysMem::snapshot() const
+{
+    Snapshot snap;
+    for (const auto &[idx, page] : pages_) {
+        snap.pages.emplace(idx, *page);
+    }
+    return snap;
+}
+
+void
+PhysMem::restore(const Snapshot &snap)
+{
+    pages_.clear();
+    for (const auto &[idx, data] : snap.pages) {
+        pages_.emplace(idx, std::make_unique<Page>(data));
+    }
+}
+
+void
+PhysMem::execute(const MemRequest &req,
+                 std::array<Word, maxReqWords> &rdata)
+{
+    panic_if(!validTransfer(req.paddr, req.size),
+             "invalid transfer: addr %#llx size %u",
+             (unsigned long long)req.paddr, req.size);
+    switch (req.op) {
+      case Op::Read:
+        for (unsigned i = 0; i < req.words(); ++i) {
+            rdata[i] = readWord(req.paddr + i * wordBytes);
+        }
+        break;
+      case Op::Write:
+        for (unsigned i = 0; i < req.words(); ++i) {
+            writeWord(req.paddr + i * wordBytes, req.wdata[i]);
+        }
+        break;
+      case Op::FetchOr:
+        panic_if(req.size != wordBytes, "FetchOr must be 8 bytes");
+        rdata[0] = fetchOrWord(req.paddr, req.wdata[0]);
+        break;
+    }
+}
+
+} // namespace hwgc::mem

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Blocking page-table walker implementation.
+ */
+
+#include "ptw.h"
+
+namespace hwgc::mem
+{
+
+Ptw::Ptw(std::string name, const PtwParams &params,
+         const PageTable &page_table, MemPort *port)
+    : Clocked(std::move(name)), params_(params), pageTable_(page_table),
+      port_(port), l2Tlb_(this->name() + ".l2tlb", params.l2TlbEntries)
+{
+    panic_if(port_ == nullptr, "PTW needs a memory port");
+}
+
+void
+Ptw::requestWalk(Addr va, WalkCallback cb)
+{
+    panic_if(!canRequest(), "PTW queue overflow");
+    queue_.push_back({va, std::move(cb)});
+}
+
+void
+Ptw::issueLevel(Tick now)
+{
+    MemRequest req;
+    req.paddr = alignDown(walkPlan_.pteAddr[level_], wordBytes);
+    req.size = wordBytes;
+    req.op = Op::Read;
+    req.tag = level_;
+    if (port_->canSend(req)) {
+        port_->send(req, now);
+        ++pteFetches_;
+        awaitingResponse_ = true;
+    }
+}
+
+void
+Ptw::finishWalk(bool valid, Addr pa, unsigned page_bits, Tick now)
+{
+    if (valid) {
+        l2Tlb_.insert(current_.va, pa, page_bits);
+    }
+    pendingCallbacks_.push_back({now + 1, valid, current_.va, pa,
+                                 page_bits, std::move(current_.cb)});
+    walking_ = false;
+    awaitingResponse_ = false;
+}
+
+void
+Ptw::onResponse(const MemResponse &resp, Tick now)
+{
+    panic_if(!walking_ || !awaitingResponse_,
+             "PTW response without a walk in progress");
+    panic_if(resp.req.tag != level_, "PTW response level mismatch");
+    awaitingResponse_ = false;
+    ++level_;
+    if (level_ >= walkPlan_.levels) {
+        finishWalk(walkPlan_.valid, walkPlan_.pa, walkPlan_.pageBits,
+                   now);
+    }
+}
+
+void
+Ptw::tick(Tick now)
+{
+    // Fire due callbacks.
+    while (!pendingCallbacks_.empty() &&
+           pendingCallbacks_.front().readyAt <= now) {
+        PendingCallback pc = std::move(pendingCallbacks_.front());
+        pendingCallbacks_.pop_front();
+        pc.cb(pc.valid, pc.va, pc.pa, pc.pageBits);
+    }
+
+    if (walking_) {
+        if (!awaitingResponse_ && level_ < walkPlan_.levels) {
+            issueLevel(now); // Retry if the port was full last cycle.
+        }
+        return;
+    }
+
+    if (queue_.empty()) {
+        return;
+    }
+
+    // Start the next walk; the L2 TLB shortcuts the full walk.
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+    if (const auto hit = l2Tlb_.lookupEntry(current_.va)) {
+        ++l2Hits_;
+        pendingCallbacks_.push_back({now + params_.l2TlbLatency, true,
+                                     current_.va, hit->first,
+                                     hit->second,
+                                     std::move(current_.cb)});
+        return;
+    }
+    ++walks_;
+    walkPlan_ = pageTable_.walk(current_.va);
+    level_ = 0;
+    walking_ = true;
+    issueLevel(now);
+}
+
+bool
+Ptw::busy() const
+{
+    return walking_ || !queue_.empty() || !pendingCallbacks_.empty();
+}
+
+void
+Ptw::resetStats()
+{
+    walks_.reset();
+    l2Hits_.reset();
+    pteFetches_.reset();
+    l2Tlb_.resetStats();
+}
+
+} // namespace hwgc::mem

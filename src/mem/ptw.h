@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The blocking hardware page-table walker shared by the GC unit's
+ * TLBs.
+ *
+ * The paper's prototype has exactly one blocking PTW backed by an
+ * 8 KiB cache ("the PTW is backed by an 8KB cache, to hold the top
+ * levels of the page table") and identifies it as a bottleneck:
+ * "as the TLB and page table walker are blocking, TLB misses can
+ * serialize execution" (§VI-A). This model reproduces that: one walk
+ * in progress at a time, per-level PTE fetches issued through a
+ * MemPort (either the PTW's private cache, or the shared unit cache
+ * in the Fig 18a configuration), and a shared 128-entry L2 TLB
+ * consulted before walking.
+ */
+
+#ifndef HWGC_MEM_PTW_H
+#define HWGC_MEM_PTW_H
+
+#include <deque>
+#include <functional>
+
+#include "mem/page_table.h"
+#include "mem/port.h"
+#include "mem/tlb.h"
+#include "sim/clocked.h"
+#include "sim/stats.h"
+
+namespace hwgc::mem
+{
+
+/** PTW configuration. */
+struct PtwParams
+{
+    unsigned l2TlbEntries = 128;  //!< Shared L2 TLB (paper baseline).
+    Tick l2TlbLatency = 2;        //!< L2 TLB hit latency.
+    unsigned queueDepth = 16;     //!< Pending walk requests.
+};
+
+/** Blocking page-table walker with a shared L2 TLB. */
+class Ptw : public Clocked, public MemResponder
+{
+  public:
+    /**
+     * Completion callback: (valid, va, pa, page_bits). Invalid means
+     * the virtual address is unmapped — a configuration error for the
+     * GC unit, surfaced to the requester. page_bits is log2 of the
+     * mapped page size (12 for 4 KiB pages, 21 for superpages).
+     */
+    using WalkCallback = std::function<void(bool, Addr, Addr, unsigned)>;
+
+    /**
+     * @param port Where PTE fetches are sent (the walker does not own
+     *        it). Must be wired so responses come back to this Ptw.
+     */
+    Ptw(std::string name, const PtwParams &params,
+        const PageTable &page_table, MemPort *port);
+
+    /** True if another walk request can be queued. */
+    bool canRequest() const { return queue_.size() < params_.queueDepth; }
+
+    /** Queues a walk for @p va; @p cb fires when it resolves. */
+    void requestWalk(Addr va, WalkCallback cb);
+
+    // MemResponder interface (PTE fetch completions).
+    void onResponse(const MemResponse &resp, Tick now) override;
+
+    // Clocked interface.
+    void tick(Tick now) override;
+    bool busy() const override;
+
+    /** The shared second-level TLB (flush between phases). */
+    TlbArray &l2Tlb() { return l2Tlb_; }
+
+    void resetStats();
+
+    /** @name Statistics @{ */
+    std::uint64_t walksStarted() const { return walks_.value(); }
+    std::uint64_t l2TlbHits() const { return l2Hits_.value(); }
+    std::uint64_t pteFetches() const { return pteFetches_.value(); }
+    /** @} */
+
+  private:
+    struct WalkRequest
+    {
+        Addr va = 0;
+        WalkCallback cb;
+    };
+
+    struct PendingCallback
+    {
+        Tick readyAt;
+        bool valid;
+        Addr va;
+        Addr pa;
+        unsigned pageBits;
+        WalkCallback cb;
+    };
+
+    /** Issues the PTE fetch for the current level if the port has room. */
+    void issueLevel(Tick now);
+
+    void finishWalk(bool valid, Addr pa, unsigned page_bits, Tick now);
+
+    PtwParams params_;
+    const PageTable &pageTable_;
+    MemPort *port_;
+    TlbArray l2Tlb_;
+
+    std::deque<WalkRequest> queue_;
+    std::deque<PendingCallback> pendingCallbacks_;
+
+    // Current walk state.
+    bool walking_ = false;
+    bool awaitingResponse_ = false;
+    WalkRequest current_;
+    PageTable::WalkResult walkPlan_;
+    unsigned level_ = 0;
+
+    stats::Scalar walks_{"walks"};
+    stats::Scalar l2Hits_{"l2TlbHits"};
+    stats::Scalar pteFetches_{"pteFetches"};
+};
+
+} // namespace hwgc::mem
+
+#endif // HWGC_MEM_PTW_H

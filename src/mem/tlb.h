@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A fully-associative, LRU TLB array (lookup structure only).
+ *
+ * The traversal unit's marker and tracer each own a 32-entry TLB and
+ * share a 128-entry L2 TLB and a blocking page-table walker (paper
+ * §VI-A: "the TLB and page table walker are blocking, TLB misses can
+ * serialize execution"). Timing — stalling on walks — is applied by
+ * the owning component; this class only resolves hits/misses.
+ */
+
+#ifndef HWGC_MEM_TLB_H
+#define HWGC_MEM_TLB_H
+
+#include <optional>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace hwgc::mem
+{
+
+/** Fully-associative translation lookaside buffer. */
+class TlbArray
+{
+  public:
+    /**
+     * @param name Statistics name.
+     * @param entries Capacity (32 for unit TLBs, 128 for shared L2).
+     */
+    TlbArray(std::string name, unsigned entries)
+        : name_(std::move(name)), entries_(entries)
+    {
+        panic_if(entries_ == 0, "TLB needs at least one entry");
+    }
+
+    /** Looks up @p va; returns the translated PA on a hit. Entries
+     *  may cover 4 KiB pages or 2 MiB superpages (paper §VII). */
+    std::optional<Addr>
+    lookup(Addr va)
+    {
+        for (auto &e : slots_) {
+            const Addr mask = (Addr(1) << e.pageBits) - 1;
+            if ((va & ~mask) == e.vpage) {
+                e.lastUse = ++useCounter_;
+                ++hits_;
+                return e.ppage + (va & mask);
+            }
+        }
+        ++misses_;
+        return std::nullopt;
+    }
+
+    /** Installs a translation, evicting LRU if full. */
+    void
+    insert(Addr va, Addr pa, unsigned page_bits = 12)
+    {
+        const Addr mask = (Addr(1) << page_bits) - 1;
+        const Addr vpage = va & ~mask;
+        const Addr ppage = pa & ~mask;
+        for (auto &e : slots_) {
+            if (e.vpage == vpage && e.pageBits == page_bits) {
+                e.ppage = ppage;
+                e.lastUse = ++useCounter_;
+                return;
+            }
+        }
+        if (slots_.size() < entries_) {
+            slots_.push_back({vpage, ppage, page_bits, ++useCounter_});
+            return;
+        }
+        Entry *lru = &slots_.front();
+        for (auto &e : slots_) {
+            if (e.lastUse < lru->lastUse) {
+                lru = &e;
+            }
+        }
+        *lru = {vpage, ppage, page_bits, ++useCounter_};
+    }
+
+    /** Like lookup(), but also reports the matching entry's page
+     *  size (needed to propagate superpage reach between TLB levels). */
+    std::optional<std::pair<Addr, unsigned>>
+    lookupEntry(Addr va)
+    {
+        for (auto &e : slots_) {
+            const Addr mask = (Addr(1) << e.pageBits) - 1;
+            if ((va & ~mask) == e.vpage) {
+                e.lastUse = ++useCounter_;
+                ++hits_;
+                return std::make_pair(e.ppage + (va & mask),
+                                      e.pageBits);
+            }
+        }
+        ++misses_;
+        return std::nullopt;
+    }
+
+    /** Drops all translations. */
+    void flush() { slots_.clear(); }
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    void
+    resetStats()
+    {
+        hits_.reset();
+        misses_.reset();
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        Addr vpage = 0;
+        Addr ppage = 0;
+        unsigned pageBits = 12;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::string name_;
+    unsigned entries_;
+    std::vector<Entry> slots_;
+    std::uint64_t useCounter_ = 0;
+
+    stats::Scalar hits_{"hits"};
+    stats::Scalar misses_{"misses"};
+};
+
+} // namespace hwgc::mem
+
+#endif // HWGC_MEM_TLB_H

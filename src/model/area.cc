@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Area model implementation.
+ */
+
+#include "area.h"
+
+#include "sim/logging.h"
+
+namespace hwgc::model
+{
+
+double
+AreaBreakdown::part(const std::string &name) const
+{
+    for (const auto &[n, mm2] : parts) {
+        if (n == name) {
+            return mm2;
+        }
+    }
+    fatal("no area part named '%s'", name.c_str());
+}
+
+AreaBreakdown
+AreaModel::rocketArea() const
+{
+    AreaBreakdown area;
+    // Table I: 256 KiB L2, 16 KiB I$, 16 KiB D$. Tag overhead ~6%.
+    const double tag_overhead = 1.06;
+    area.parts.emplace_back(
+        "L2 Cache", 256.0 * params_.sramMm2PerKiB * tag_overhead);
+    area.parts.emplace_back(
+        "L1 DCache", 16.0 * params_.sramMm2PerKiB * tag_overhead +
+        0.05 /* LSU logic */);
+    area.parts.emplace_back(
+        "Frontend", 16.0 * params_.sramMm2PerKiB * tag_overhead +
+        params_.rocketFrontendLogicMm2);
+    area.parts.emplace_back("Other", params_.rocketOtherLogicMm2);
+    return area;
+}
+
+AreaBreakdown
+AreaModel::hwgcArea(const core::HwgcConfig &config) const
+{
+    AreaBreakdown area;
+
+    // Mark queue: main queue SRAM budget is markQueueEntries 64-bit
+    // slots (compression packs more references into the same bits),
+    // plus inQ/outQ and the spill state machine.
+    const double mq_kib =
+        double(config.markQueueEntries) * 8.0 / 1024.0 +
+        double(2 * config.spillQueueEntries) * 8.0 / 1024.0;
+    area.parts.emplace_back(
+        "Mark Q.", mq_kib * params_.queueMm2PerKiB +
+        params_.unitLogicMm2);
+
+    // Tracer: tracer queue (ref + count = 12 B/entry), TLB, generator.
+    const double tq_kib =
+        double(config.tracerQueueEntries) * 12.0 / 1024.0;
+    area.parts.emplace_back(
+        "Tracer", tq_kib * params_.queueMm2PerKiB +
+        double(config.unitTlbEntries) * params_.tlbMm2PerEntry +
+        params_.unitLogicMm2);
+
+    // Marker: request slots (tag + address = 16 B), TLB, mark-bit
+    // cache, control.
+    const double slots_kib = double(config.markerSlots) * 16.0 / 1024.0;
+    const double mbc_kib =
+        double(config.markBitCacheEntries) * 8.0 / 1024.0;
+    area.parts.emplace_back(
+        "Marker", (slots_kib + mbc_kib) * params_.queueMm2PerKiB +
+        double(config.unitTlbEntries) * params_.tlbMm2PerEntry +
+        params_.unitLogicMm2);
+
+    // PTW: its cache (8 KiB in the partitioned design, or a share of
+    // the unit cache in the shared design) plus the L2 TLB.
+    const double ptw_cache_kib = config.sharedCache
+        ? double(config.sharedCacheParams.sizeBytes) / 1024.0
+        : double(config.ptwCacheParams.sizeBytes) / 1024.0;
+    area.parts.emplace_back(
+        "PTW", ptw_cache_kib * params_.sramMm2PerKiB +
+        double(config.ptw.l2TlbEntries) * params_.tlbMm2PerEntry +
+        params_.unitLogicMm2);
+
+    // Sweepers + their crossbar.
+    area.parts.emplace_back(
+        "Sweeper",
+        double(config.numSweepers) *
+            (params_.sweeperMm2 + params_.crossbarMm2PerPort +
+             double(config.sweeperTlbEntries) * params_.tlbMm2PerEntry));
+
+    // MMIO registers, TileLink adapters, glue.
+    area.parts.emplace_back("Other", 2.0 * params_.unitLogicMm2);
+    return area;
+}
+
+double
+AreaModel::ratio(const core::HwgcConfig &config) const
+{
+    return hwgcArea(config).total() / rocketArea().total();
+}
+
+double
+AreaModel::sramEquivalentKiB(const core::HwgcConfig &config) const
+{
+    return hwgcArea(config).total() / params_.sramMm2PerKiB;
+}
+
+} // namespace hwgc::model

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Analytical area model (paper §VI-C / Fig 22).
+ *
+ * The paper synthesized its Chisel through Synopsys DC with the SAED
+ * EDK 32/28 library and reports: the GC unit is 18.5% the area of a
+ * Rocket core, "comparable to the area of 64KB of SRAM", with the
+ * mark queue dominating the unit. We cannot synthesize RTL, so this
+ * model assigns each structure an SRAM-bit cost plus a logic overhead
+ * and uses per-KB / per-structure constants calibrated once so the
+ * baseline configuration reproduces the paper's headline ratios. The
+ * value of the model is that it *scales with the configuration*: a
+ * bigger mark queue or more sweepers change the Fig 22 breakdown the
+ * way the real synthesis would.
+ */
+
+#ifndef HWGC_MODEL_AREA_H
+#define HWGC_MODEL_AREA_H
+
+#include <string>
+#include <vector>
+
+#include "core/hwgc_config.h"
+
+namespace hwgc::model
+{
+
+/** A named area breakdown in mm^2. */
+struct AreaBreakdown
+{
+    std::vector<std::pair<std::string, double>> parts;
+
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (const auto &[name, mm2] : parts) {
+            sum += mm2;
+        }
+        return sum;
+    }
+
+    double part(const std::string &name) const;
+};
+
+/** Technology / calibration constants (SAED 32/28-flavoured). */
+struct AreaParams
+{
+    /** mm^2 per KiB of SRAM, including array overheads. */
+    double sramMm2PerKiB = 0.0105;
+
+    /** mm^2 per KiB of CAM/queue storage (denser control, FF-based,
+     *  costlier per bit than SRAM). */
+    double queueMm2PerKiB = 0.0550;
+
+    /** mm^2 per TLB entry (CAM cell + comparators). */
+    double tlbMm2PerEntry = 0.00045;
+
+    /** Fixed control logic per pipeline unit. */
+    double unitLogicMm2 = 0.012;
+
+    /** One block sweeper's state machine. */
+    double sweeperMm2 = 0.008;
+
+    /** Crossbar cost per sweeper port (paper: "a large part of the
+     *  design is the cross-bar"). */
+    double crossbarMm2PerPort = 0.006;
+
+    /** Rocket core logic blocks (DC estimates, Fig 22b "Frontend" /
+     *  "Other" are dominated by logic, the caches by SRAM). */
+    double rocketFrontendLogicMm2 = 0.55;
+    double rocketOtherLogicMm2 = 0.80;
+};
+
+/** The area model. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const AreaParams &params = {}) : params_(params) {}
+
+    /** Rocket CPU breakdown (Fig 22b): L2, L1D, frontend, other. */
+    AreaBreakdown rocketArea() const;
+
+    /** GC unit breakdown (Fig 22c) for a given configuration. */
+    AreaBreakdown hwgcArea(const core::HwgcConfig &config) const;
+
+    /** Unit-to-Rocket area ratio (paper headline: 0.185). */
+    double ratio(const core::HwgcConfig &config) const;
+
+    /** SRAM KiB with the same area as the unit (paper: ~64 KiB). */
+    double sramEquivalentKiB(const core::HwgcConfig &config) const;
+
+    const AreaParams &params() const { return params_; }
+
+  private:
+    AreaParams params_;
+};
+
+} // namespace hwgc::model
+
+#endif // HWGC_MODEL_AREA_H

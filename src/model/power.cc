@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Power model implementation.
+ */
+
+#include "power.h"
+
+namespace hwgc::model
+{
+
+double
+PowerModel::dramPowerMw(const DramActivity &activity) const
+{
+    if (activity.cycles == 0) {
+        return params_.dramBackgroundMw;
+    }
+    const double seconds = double(activity.cycles) / coreClockHz;
+    const double activate_j =
+        double(activity.activates) * params_.activateNj * 1e-9;
+    // Reads and writes split the byte count in proportion to their
+    // request counts (requests are mostly same-sized within a phase).
+    const double total_reqs =
+        double(activity.reads + activity.writes);
+    const double read_frac = total_reqs == 0.0
+        ? 0.5 : double(activity.reads) / total_reqs;
+    const double burst_j = double(activity.bytes) *
+        (read_frac * params_.readPjPerByte +
+         (1.0 - read_frac) * params_.writePjPerByte) * 1e-12;
+    return params_.dramBackgroundMw +
+        (activate_j + burst_j) / seconds * 1e3;
+}
+
+double
+PowerModel::unitPowerMw(const core::HwgcConfig &config) const
+{
+    return area_.hwgcArea(config).total() * params_.unitMwPerMm2;
+}
+
+EnergyReport
+PowerModel::cpuEnergy(const DramActivity &activity) const
+{
+    EnergyReport report;
+    report.seconds = double(activity.cycles) / coreClockHz;
+    report.computePowerMw = params_.rocketCoreMw;
+    report.dramPowerMw = dramPowerMw(activity);
+    return report;
+}
+
+EnergyReport
+PowerModel::hwgcEnergy(const DramActivity &activity,
+                       const core::HwgcConfig &config) const
+{
+    EnergyReport report;
+    report.seconds = double(activity.cycles) / coreClockHz;
+    report.computePowerMw = unitPowerMw(config);
+    report.dramPowerMw = dramPowerMw(activity);
+    return report;
+}
+
+} // namespace hwgc::model

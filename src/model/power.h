@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Power and energy model (paper §VI-C / Fig 23).
+ *
+ * The paper collected DRAM-level counters over the GC pauses of
+ * Fig 16 and ran them through Micron's DDR3 power-calculator
+ * spreadsheet, and took core/unit power from Design Compiler. This
+ * model implements the standard Micron methodology: background power
+ * plus activate energy per ACT command plus read/write burst energy
+ * per byte, combined with static compute-side power, giving total
+ * energy = power x pause time. The headline behaviour reproduced:
+ * the unit's DRAM *power* is higher (it sustains more bandwidth) but
+ * its total *energy* is lower because the pause is much shorter.
+ */
+
+#ifndef HWGC_MODEL_POWER_H
+#define HWGC_MODEL_POWER_H
+
+#include "core/hwgc_config.h"
+#include "model/area.h"
+#include "sim/types.h"
+
+namespace hwgc::model
+{
+
+/** DRAM activity counters over one measured interval. */
+struct DramActivity
+{
+    std::uint64_t reads = 0;     //!< Read requests.
+    std::uint64_t writes = 0;    //!< Write requests.
+    std::uint64_t bytes = 0;     //!< Total bytes moved.
+    std::uint64_t activates = 0; //!< Row activations.
+    Tick cycles = 0;             //!< Interval length (1 GHz cycles).
+};
+
+/** Calibration constants (DDR3 datasheet flavoured). */
+struct PowerParams
+{
+    /** DRAM background power (idle rank, CKE high). */
+    double dramBackgroundMw = 160.0;
+
+    /** Energy per row activate+precharge pair. */
+    double activateNj = 3.8;
+
+    /** Read/write burst energy per byte moved (I/O + DRAM core;
+     *  traffic is counted at BL8/line granularity by the Dram model,
+     *  so sub-line requests pay for the full burst). */
+    double readPjPerByte = 230.0;
+    double writePjPerByte = 260.0;
+
+    /** Rocket core power while running GC code (DC estimate). */
+    double rocketCoreMw = 225.0;
+
+    /** GC unit dynamic+static power per mm^2 (DC estimate; the unit
+     *  is small and datapath-dominated). */
+    double unitMwPerMm2 = 55.0;
+};
+
+/** An energy accounting result. */
+struct EnergyReport
+{
+    double seconds = 0.0;
+    double computePowerMw = 0.0; //!< Core or unit.
+    double dramPowerMw = 0.0;
+    double totalPowerMw() const { return computePowerMw + dramPowerMw; }
+    double energyMj() const { return totalPowerMw() * seconds; }
+};
+
+/** The power/energy model. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerParams &params = {},
+                        const AreaParams &area = {})
+        : params_(params), area_(area)
+    {
+    }
+
+    /** Average DRAM power over an activity interval (mW). */
+    double dramPowerMw(const DramActivity &activity) const;
+
+    /** The GC unit's compute power for a configuration (mW). */
+    double unitPowerMw(const core::HwgcConfig &config) const;
+
+    /** Energy of a GC interval executed on the Rocket core. */
+    EnergyReport cpuEnergy(const DramActivity &activity) const;
+
+    /** Energy of a GC interval executed on the unit. */
+    EnergyReport hwgcEnergy(const DramActivity &activity,
+                            const core::HwgcConfig &config) const;
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    PowerParams params_;
+    AreaModel area_;
+};
+
+} // namespace hwgc::model
+
+#endif // HWGC_MODEL_POWER_H

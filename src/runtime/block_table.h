@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Encoding of the in-memory block descriptor table.
+ *
+ * The reclamation unit "iterates through a list of blocks" (paper
+ * §IV-B); that list is this table, written by the runtime when blocks
+ * are carved and updated by whichever sweep implementation ran last.
+ * Both the software sweep and the hardware block sweepers read and
+ * write exactly this format, which is what lets tests assert their
+ * results are bit-identical.
+ *
+ * Entry layout (4 words):
+ *   word0  block base VA
+ *   word1  geometry: cellBytes | (sizeClass << 32)
+ *   word2  free-list head (cell VA, 0 = empty)
+ *   word3  sweep summary: (freeCells << 1) | hasLive
+ */
+
+#ifndef HWGC_RUNTIME_BLOCK_TABLE_H
+#define HWGC_RUNTIME_BLOCK_TABLE_H
+
+#include "sim/types.h"
+
+namespace hwgc::runtime
+{
+
+/** Helpers for reading/writing block descriptor entries. */
+struct BlockTableEntry
+{
+    static constexpr unsigned words = 4;
+
+    /** Address of entry @p idx in a table based at @p table_base. */
+    static Addr
+    addr(Addr table_base, std::uint64_t idx)
+    {
+        return table_base + idx * words * wordBytes;
+    }
+
+    static Word
+    makeGeometry(std::uint32_t cell_bytes, unsigned size_class)
+    {
+        return Word(cell_bytes) | (Word(size_class) << 32);
+    }
+
+    static std::uint32_t
+    cellBytes(Word geometry)
+    {
+        return std::uint32_t(geometry & 0xffffffffULL);
+    }
+
+    static unsigned
+    sizeClass(Word geometry)
+    {
+        return unsigned(geometry >> 32);
+    }
+
+    static Word
+    makeSummary(std::uint32_t free_cells, bool has_live)
+    {
+        return (Word(free_cells) << 1) | (has_live ? 1 : 0);
+    }
+
+    static std::uint32_t
+    freeCells(Word summary)
+    {
+        return std::uint32_t(summary >> 1);
+    }
+
+    static bool
+    hasLive(Word summary)
+    {
+        return (summary & 1ULL) != 0;
+    }
+};
+
+} // namespace hwgc::runtime
+
+#endif // HWGC_RUNTIME_BLOCK_TABLE_H

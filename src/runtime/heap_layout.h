@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The simulated process's address-space layout.
+ *
+ * Heap regions are identity-mapped (VA == PA) through real page
+ * tables, mirroring the paper's setup where the JVM maps the entire
+ * DRAM address space (§VII "Page faults"); identity keeps functional
+ * access simple while the GC unit still pays for translation through
+ * its TLBs and page-table walker. The spill region and page tables
+ * are physical-only: the paper's driver allocates the spill region in
+ * physical memory ("This region has to be contiguous in physical
+ * memory and we currently allocate a static 4MB range").
+ */
+
+#ifndef HWGC_RUNTIME_HEAP_LAYOUT_H
+#define HWGC_RUNTIME_HEAP_LAYOUT_H
+
+#include "sim/types.h"
+
+namespace hwgc::runtime
+{
+
+/** Fixed region bases/sizes within the 2 GiB physical space. */
+struct HeapLayout
+{
+    /** Page-table pages (physical only). */
+    static constexpr Addr pageTableBase = 0x0010'0000;
+    static constexpr std::uint64_t pageTableSize = 16ULL << 20;
+
+    /** Block descriptor table (VA-mapped; read by the sweepers). */
+    static constexpr Addr blockTableBase = 0x0200'0000;
+    static constexpr std::uint64_t blockTableSize = 4ULL << 20;
+
+    /** hwgc-space: the root region visible to the GC unit (§V-A). */
+    static constexpr Addr hwgcSpaceBase = 0x0300'0000;
+    static constexpr std::uint64_t hwgcSpaceSize = 4ULL << 20;
+
+    /** The software collector's in-memory mark queue (VA-mapped). */
+    static constexpr Addr swQueueBase = 0x0800'0000;
+    static constexpr std::uint64_t swQueueSize = 32ULL << 20;
+
+    /** MarkSweep space: size-classed blocks (the reclaimed space). */
+    static constexpr Addr markSweepBase = 0x1000'0000;
+
+    /** Large object space (traced, not reclaimed by the unit). */
+    static constexpr Addr losBase = 0x4000'0000;
+
+    /** Immortal space: statics / VM structures (traced, never freed). */
+    static constexpr Addr immortalBase = 0x5000'0000;
+
+    /** Mark-queue spill region (physical only, default 4 MB, §V-E). */
+    static constexpr Addr spillBase = 0x6000'0000;
+    static constexpr std::uint64_t spillSize = 4ULL << 20;
+};
+
+/** Size of one MarkSweep block. Scaled from JikesRVM's 64 KiB to
+ *  16 KiB so the scaled-down heaps still contain enough blocks to
+ *  exercise sweeper parallelism (Fig 20). */
+constexpr std::uint64_t blockBytes = 16 * 1024;
+
+/** Words per block-table entry: base, geometry, free head, summary. */
+constexpr unsigned blockTableEntryWords = 4;
+
+} // namespace hwgc::runtime
+
+#endif // HWGC_RUNTIME_HEAP_LAYOUT_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The heap object encoding, bit-compatible in spirit with the paper's
+ * JikesRVM integration (Fig 11) and bidirectional layout (Fig 6b).
+ *
+ * A cell inside a size-classed block is laid out as:
+ *
+ *     cell[0]          cell-start word (replicated #REFS, or free link)
+ *     cell[1 .. n]     n = #REFS reference slots
+ *     cell[n+1]        status word — object references point HERE
+ *     cell[n+2 ..]     non-reference payload words
+ *
+ * Key property (paper §IV-A idea II): because the status word encodes
+ * both the mark bit and #REFS, the marker can mark an object and learn
+ * the number of outbound references with a single atomic fetch-or.
+ * The reference slots sit contiguously below the header (bidirectional
+ * layout, idea I), so the tracer copies them with unit-stride reads.
+ * The cell-start word replicates #REFS so the reclamation unit can
+ * scan blocks linearly (paper §V-A: "we also replicate the reference
+ * count at the beginning of the array").
+ */
+
+#ifndef HWGC_RUNTIME_OBJECT_MODEL_H
+#define HWGC_RUNTIME_OBJECT_MODEL_H
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace hwgc::runtime
+{
+
+/** An object reference: the virtual address of the status word. */
+using ObjRef = Addr;
+
+/** The null reference. */
+constexpr ObjRef nullRef = 0;
+
+/** Object layout strategies (Fig 6). */
+enum class Layout
+{
+    Bidirectional, //!< Paper's co-designed layout (Fig 6b).
+    Tib,           //!< Conventional TIB-based layout (Fig 6a), for
+                   //!< the layout ablation.
+};
+
+/** Status-word (header) encoding. */
+struct StatusWord
+{
+    static constexpr Word markBit = 1ULL << 0;
+    static constexpr Word tagBit = 1ULL << 1;  //!< 1 for any live cell.
+    static constexpr Word arrayBit = 1ULL << 2;
+    static constexpr unsigned typeIdShift = 8;
+    static constexpr unsigned typeIdWidth = 16;
+    static constexpr unsigned numRefsShift = 32;
+    static constexpr unsigned numRefsWidth = 31;
+    static constexpr Word arrayFlagMsb = 1ULL << 63; //!< MSB of the
+                                                     //!< 32-bit #REFS
+                                                     //!< field (paper).
+
+    /** Builds an unmarked live status word. */
+    static Word
+    make(std::uint32_t num_refs, std::uint16_t type_id, bool is_array)
+    {
+        panic_if(num_refs >= (1U << 31), "too many references");
+        Word w = tagBit;
+        if (is_array) {
+            w |= arrayBit | arrayFlagMsb;
+        }
+        w |= Word(type_id) << typeIdShift;
+        w |= Word(num_refs) << numRefsShift;
+        return w;
+    }
+
+    static bool marked(Word w) { return (w & markBit) != 0; }
+    static bool live(Word w) { return (w & tagBit) != 0; }
+    static bool isArray(Word w) { return (w & arrayBit) != 0; }
+
+    static std::uint32_t
+    numRefs(Word w)
+    {
+        return std::uint32_t(bits(w, numRefsShift, numRefsWidth));
+    }
+
+    static std::uint16_t
+    typeId(Word w)
+    {
+        return std::uint16_t(bits(w, typeIdShift, typeIdWidth));
+    }
+};
+
+/** Cell-start word encoding (paper Fig 11, "#REFS | 101"). */
+struct CellStart
+{
+    static constexpr Word liveBits = 0b101; //!< LSB=1 marks live cells.
+    static constexpr Word liveMask = 0b111;
+
+    /** Cell-start word of a live object. */
+    static Word
+    makeLive(std::uint32_t num_refs)
+    {
+        return (Word(num_refs) << 3) | liveBits;
+    }
+
+    /** Cell-start word of a free cell: link to the next free cell. */
+    static Word
+    makeFree(Addr next_cell)
+    {
+        panic_if((next_cell & liveMask) != 0,
+                 "free-list link must be 8-byte aligned");
+        return next_cell;
+    }
+
+    /** LSB=1 means a live object with bidirectional layout. */
+    static bool isLive(Word w) { return (w & 1ULL) != 0; }
+
+    static std::uint32_t numRefs(Word w) { return std::uint32_t(w >> 3); }
+    static Addr nextFree(Word w) { return w & ~liveMask; }
+};
+
+/** Geometry helpers tying references, cells and slots together. */
+struct ObjectModel
+{
+    /** Words a live object occupies: start + refs + header + payload. */
+    static std::uint64_t
+    sizeWords(std::uint32_t num_refs, std::uint32_t payload_words)
+    {
+        return 2ULL + num_refs + payload_words;
+    }
+
+    /** Status-word address for an object whose cell starts at @p cell. */
+    static ObjRef
+    refFromCell(Addr cell, std::uint32_t num_refs)
+    {
+        return cell + (1ULL + num_refs) * wordBytes;
+    }
+
+    /** Cell base address recovered from a reference. */
+    static Addr
+    cellFromRef(ObjRef ref, std::uint32_t num_refs)
+    {
+        return ref - (1ULL + num_refs) * wordBytes;
+    }
+
+    /** Base of the reference-slot section (paper: [hdr - 8n, hdr)). */
+    static Addr
+    refsBase(ObjRef ref, std::uint32_t num_refs)
+    {
+        return ref - Addr(num_refs) * wordBytes;
+    }
+
+    /** Address of reference slot @p slot (0-based). */
+    static Addr
+    refSlotAddr(ObjRef ref, std::uint32_t num_refs, std::uint32_t slot)
+    {
+        panic_if(slot >= num_refs, "reference slot out of range");
+        return refsBase(ref, num_refs) + Addr(slot) * wordBytes;
+    }
+
+    /** First payload word (after the header). */
+    static Addr
+    payloadBase(ObjRef ref)
+    {
+        return ref + wordBytes;
+    }
+};
+
+} // namespace hwgc::runtime
+
+#endif // HWGC_RUNTIME_OBJECT_MODEL_H

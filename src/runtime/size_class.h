@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Segregated free-list size classes (paper §V-A: "Jikes's Mark &
+ * Sweep plan uses a segregated free list allocator. Memory is divided
+ * into blocks, and each block is assigned a size class, which
+ * determines the size of the cells that the block is divided into").
+ */
+
+#ifndef HWGC_RUNTIME_SIZE_CLASS_H
+#define HWGC_RUNTIME_SIZE_CLASS_H
+
+#include <array>
+#include <cstdint>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace hwgc::runtime
+{
+
+/** The size-class table. */
+class SizeClasses
+{
+  public:
+    /** Cell sizes in bytes, ascending; the allocator's "available
+     *  size classes" configuration parameter (paper §IV-C). */
+    static constexpr std::array<std::uint32_t, 15> cellBytes = {
+        16, 32, 48, 64, 96, 128, 192, 256,
+        384, 512, 768, 1024, 2048, 4096, 8192,
+    };
+
+    static constexpr unsigned count = unsigned(cellBytes.size());
+
+    /** Largest cell size; bigger objects go to the large object space. */
+    static constexpr std::uint32_t maxCellBytes = cellBytes.back();
+
+    /** Smallest class whose cells fit @p bytes; count if none does. */
+    static unsigned
+    classFor(std::uint64_t bytes)
+    {
+        for (unsigned i = 0; i < count; ++i) {
+            if (cellBytes[i] >= bytes) {
+                return i;
+            }
+        }
+        return count;
+    }
+
+    /** Cell size of class @p idx. */
+    static std::uint32_t
+    bytesFor(unsigned idx)
+    {
+        panic_if(idx >= count, "size class %u out of range", idx);
+        return cellBytes[idx];
+    }
+};
+
+} // namespace hwgc::runtime
+
+#endif // HWGC_RUNTIME_SIZE_CLASS_H

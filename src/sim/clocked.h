@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The cycle-stepped simulation kernel.
+ *
+ * All timing models are Clocked components registered with a System.
+ * The System advances one cycle at a time, calling tick() on every
+ * component in registration order; a component that has nothing to do
+ * reports idle so runUntilIdle() can terminate. One cycle of simulated
+ * time is one core clock at 1 GHz (paper Table I).
+ */
+
+#ifndef HWGC_SIM_CLOCKED_H
+#define HWGC_SIM_CLOCKED_H
+
+#include <string>
+#include <vector>
+
+#include "sim/logging.h"
+#include "sim/types.h"
+
+namespace hwgc
+{
+
+class System;
+
+/** Base class for anything evaluated once per clock cycle. */
+class Clocked
+{
+  public:
+    /** @param name A unique, human-readable instance name. */
+    explicit Clocked(std::string name) : name_(std::move(name)) {}
+    virtual ~Clocked() = default;
+
+    Clocked(const Clocked &) = delete;
+    Clocked &operator=(const Clocked &) = delete;
+
+    /** Evaluates one clock cycle at time @p now. */
+    virtual void tick(Tick now) = 0;
+
+    /**
+     * Reports whether the component could still make progress.
+     * runUntilIdle() stops once every component is idle for a cycle.
+     */
+    virtual bool busy() const = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+/**
+ * Owns the global clock and the component list. Components are
+ * registered by raw pointer and must outlive the System (they are
+ * typically members of the owning simulation object).
+ */
+class System
+{
+  public:
+    System() = default;
+
+    /** Registers a component; evaluation order is registration order. */
+    void
+    add(Clocked *c)
+    {
+        panic_if(c == nullptr, "System::add(nullptr)");
+        components_.push_back(c);
+    }
+
+    /** Current simulated time in cycles. */
+    Tick now() const { return now_; }
+
+    /** Advances the clock by exactly one cycle. */
+    void
+    step()
+    {
+        for (auto *c : components_) {
+            c->tick(now_);
+        }
+        ++now_;
+    }
+
+    /**
+     * Runs until every component reports idle, or @p max_cycles have
+     * elapsed since the call.
+     *
+     * @return true if the system went idle, false if the cycle budget
+     *         was exhausted (which callers treat as a deadlock bug).
+     */
+    bool
+    runUntilIdle(Tick max_cycles = 2'000'000'000ULL)
+    {
+        const Tick limit = now_ + max_cycles;
+        while (now_ < limit) {
+            bool any_busy = false;
+            for (auto *c : components_) {
+                if (c->busy()) {
+                    any_busy = true;
+                    break;
+                }
+            }
+            if (!any_busy) {
+                return true;
+            }
+            step();
+        }
+        return false;
+    }
+
+    /** Runs for exactly @p cycles cycles. */
+    void
+    run(Tick cycles)
+    {
+        for (Tick i = 0; i < cycles; ++i) {
+            step();
+        }
+    }
+
+  private:
+    Tick now_ = 0;
+    std::vector<Clocked *> components_;
+};
+
+} // namespace hwgc
+
+#endif // HWGC_SIM_CLOCKED_H

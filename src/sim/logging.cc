@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Implementation of the status/error reporting helpers.
+ */
+
+#include "logging.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace hwgc
+{
+
+bool Debug::anyEnabled_ = false;
+
+namespace
+{
+
+std::set<std::string> &
+flagSet()
+{
+    static std::set<std::string> flags;
+    return flags;
+}
+
+void
+vreport(const char *prefix, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warnImpl(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+informImpl(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+Debug::enable(const std::string &flag)
+{
+    flagSet().insert(flag);
+    anyEnabled_ = true;
+}
+
+void
+Debug::disable(const std::string &flag)
+{
+    flagSet().erase(flag);
+    anyEnabled_ = !flagSet().empty();
+}
+
+bool
+Debug::enabled(const std::string &flag)
+{
+    return flagSet().count(flag) != 0;
+}
+
+void
+Debug::print(unsigned long long tick, const char *flag,
+             const char *fmt, ...)
+{
+    std::fprintf(stderr, "%10llu: %s: ", tick, flag);
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace hwgc

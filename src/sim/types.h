@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fundamental simulator-wide types and bit-manipulation helpers.
+ *
+ * The simulated machine is a 64-bit RISC-V-like SoC clocked at 1 GHz
+ * (paper Table I), so one Tick equals one core cycle equals one
+ * nanosecond everywhere in the code base.
+ */
+
+#ifndef HWGC_SIM_TYPES_H
+#define HWGC_SIM_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace hwgc
+{
+
+/** A physical or virtual memory address. */
+using Addr = std::uint64_t;
+
+/** Simulated time in core clock cycles (1 GHz, so 1 Tick == 1 ns). */
+using Tick = std::uint64_t;
+
+/** A 64-bit machine word, the unit of all heap metadata. */
+using Word = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Bytes per machine word. */
+constexpr unsigned wordBytes = 8;
+
+/** Bytes per cache line / maximum interconnect transfer (TileLink). */
+constexpr unsigned lineBytes = 64;
+
+/** Bytes per smallest page (Sv39-style 4 KiB pages). */
+constexpr unsigned pageBytes = 4096;
+
+/** Core clock frequency in Hz (Table I: 1 GHz). */
+constexpr double coreClockHz = 1e9;
+
+/** Checks whether @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Rounds @p v down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Rounds @p v up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Extracts bits [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & ((len >= 64) ? ~0ULL : ((1ULL << len) - 1));
+}
+
+/** Inserts @p field into bits [lo, lo+len) of @p v. */
+constexpr std::uint64_t
+insertBits(std::uint64_t v, unsigned lo, unsigned len, std::uint64_t field)
+{
+    const std::uint64_t mask =
+        ((len >= 64) ? ~0ULL : ((1ULL << len) - 1)) << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+} // namespace hwgc
+
+#endif // HWGC_SIM_TYPES_H

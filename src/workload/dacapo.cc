@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The DaCapo-inspired profile table.
+ *
+ * Parameters are calibrated once, here, and shared by every bench and
+ * test; no experiment tunes them individually.
+ */
+
+#include "dacapo.h"
+
+#include "sim/logging.h"
+
+namespace hwgc::workload
+{
+
+std::vector<BenchmarkProfile>
+dacapoSuite()
+{
+    std::vector<BenchmarkProfile> suite;
+
+    // avrora: AVR microcontroller simulation. Small live set, lots of
+    // small event/state objects, modest churn; lightest GC load.
+    {
+        BenchmarkProfile p;
+        p.name = "avrora";
+        p.graph.liveObjects = 30000;
+        p.graph.garbageObjects = 18000;
+        p.graph.avgRefs = 2.6;
+        p.graph.avgPayloadWords = 3.0;
+        p.graph.arrayFraction = 0.06;
+        p.graph.shareProb = 0.22;
+        p.graph.seed = 0xa17a01;
+        p.numGCs = 5;
+        p.churnPerGC = 0.25;
+        p.mutatorMsPerGC = 85.0;
+        suite.push_back(p);
+    }
+
+    // luindex: Lucene indexing. Medium live set with a pronounced hot
+    // set of analyzer/term metadata objects (the Fig 21 phenomenon).
+    {
+        BenchmarkProfile p;
+        p.name = "luindex";
+        p.graph.liveObjects = 42000;
+        p.graph.garbageObjects = 26000;
+        p.graph.avgRefs = 3.0;
+        p.graph.avgPayloadWords = 4.0;
+        p.graph.arrayFraction = 0.10;
+        p.graph.shareProb = 0.30;
+        p.graph.hotObjects = 56;
+        p.graph.hotRefFraction = 0.32;
+        p.graph.seed = 0x10da11;
+        p.numGCs = 8;
+        p.churnPerGC = 0.30;
+        p.mutatorMsPerGC = 82.0;
+        suite.push_back(p);
+    }
+
+    // lusearch: Lucene search; allocation-heavy query processing with
+    // high churn (the paper's latency workload, Fig 1b).
+    {
+        BenchmarkProfile p;
+        p.name = "lusearch";
+        p.graph.liveObjects = 52000;
+        p.graph.garbageObjects = 48000;
+        p.graph.avgRefs = 2.8;
+        p.graph.avgPayloadWords = 5.0;
+        p.graph.arrayFraction = 0.12;
+        p.graph.shareProb = 0.24;
+        p.graph.seed = 0x105ea;
+        p.numGCs = 8;
+        p.churnPerGC = 0.45;
+        p.mutatorMsPerGC = 57.0;
+        suite.push_back(p);
+    }
+
+    // pmd: source-code analysis; big AST-shaped heaps, deep pointer
+    // chains, large live set — one of the two heaviest benchmarks.
+    {
+        BenchmarkProfile p;
+        p.name = "pmd";
+        p.graph.liveObjects = 95000;
+        p.graph.garbageObjects = 55000;
+        p.graph.avgRefs = 3.6;
+        p.graph.avgPayloadWords = 3.0;
+        p.graph.arrayFraction = 0.08;
+        p.graph.shareProb = 0.34;
+        p.graph.seed = 0x9319d;
+        p.numGCs = 5;
+        p.churnPerGC = 0.30;
+        p.mutatorMsPerGC = 150.0;
+        suite.push_back(p);
+    }
+
+    // sunflow: ray tracing; float-array heavy, relatively few
+    // references per object, light GC load.
+    {
+        BenchmarkProfile p;
+        p.name = "sunflow";
+        p.graph.liveObjects = 34000;
+        p.graph.garbageObjects = 30000;
+        p.graph.avgRefs = 2.0;
+        p.graph.avgPayloadWords = 8.0;
+        p.graph.arrayFraction = 0.18;
+        p.graph.avgArrayLen = 40.0;
+        p.graph.largeFraction = 0.02;
+        p.graph.shareProb = 0.18;
+        p.graph.seed = 0x50f107;
+        p.numGCs = 5;
+        p.churnPerGC = 0.35;
+        p.mutatorMsPerGC = 270.0;
+        suite.push_back(p);
+    }
+
+    // xalan: XSLT processing; the heaviest benchmark — large live
+    // set, high sharing (DOM nodes), heavy churn.
+    {
+        BenchmarkProfile p;
+        p.name = "xalan";
+        p.graph.liveObjects = 115000;
+        p.graph.garbageObjects = 70000;
+        p.graph.avgRefs = 3.4;
+        p.graph.avgPayloadWords = 3.0;
+        p.graph.arrayFraction = 0.10;
+        p.graph.shareProb = 0.36;
+        p.graph.seed = 0xa1a9;
+        p.numGCs = 6;
+        p.churnPerGC = 0.40;
+        p.mutatorMsPerGC = 120.0;
+        suite.push_back(p);
+    }
+
+    return suite;
+}
+
+BenchmarkProfile
+dacapoProfile(const std::string &name)
+{
+    for (const auto &p : dacapoSuite()) {
+        if (p.name == name) {
+            return p;
+        }
+    }
+    fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
+BenchmarkProfile
+smokeProfile()
+{
+    BenchmarkProfile p;
+    p.name = "smoke";
+    p.graph.liveObjects = 2000;
+    p.graph.garbageObjects = 1200;
+    p.graph.numRoots = 16;
+    p.graph.seed = 42;
+    p.numGCs = 2;
+    p.churnPerGC = 0.3;
+    p.mutatorMsPerGC = 5.0;
+    return p;
+}
+
+} // namespace hwgc::workload

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DaCapo-inspired benchmark profiles.
+ *
+ * The paper evaluates "the subset of DaCapo benchmarks that runs on
+ * our version of JikesRVM": avrora, luindex, lusearch, pmd, sunflow,
+ * xalan, each on the small input with a 200 MB heap cap. We cannot
+ * run the Java benchmarks, so each profile is a synthetic heap shape
+ * whose live-set size, degree distribution and churn are chosen so
+ * the *relative* mark/sweep behaviour across benchmarks resembles
+ * Fig 15 (pmd and xalan heaviest, avrora/sunflow lightest) while
+ * staying laptop-scale. luindex carries the Fig 21 hot set ("56
+ * objects account for 10% of accesses", measured at its 8th GC).
+ */
+
+#ifndef HWGC_WORKLOAD_DACAPO_H
+#define HWGC_WORKLOAD_DACAPO_H
+
+#include <string>
+#include <vector>
+
+#include "workload/graph_gen.h"
+
+namespace hwgc::workload
+{
+
+/** One benchmark's workload description. */
+struct BenchmarkProfile
+{
+    std::string name;
+    GraphParams graph;
+    unsigned numGCs = 4;      //!< GC pauses during the run.
+    double churnPerGC = 0.3;  //!< Live-set turnover between pauses.
+
+    /**
+     * Modeled mutator time between consecutive pauses in
+     * milliseconds, used only for Fig 1a's "% of CPU time in GC" and
+     * Fig 1b's timeline (the simulator measures pause times; it does
+     * not execute Java application code).
+     */
+    double mutatorMsPerGC = 20.0;
+};
+
+/** The six-benchmark suite used throughout the evaluation. */
+std::vector<BenchmarkProfile> dacapoSuite();
+
+/** Looks up one profile by name (fatal if unknown). */
+BenchmarkProfile dacapoProfile(const std::string &name);
+
+/** A tiny profile for fast smoke tests and the quickstart example. */
+BenchmarkProfile smokeProfile();
+
+} // namespace hwgc::workload
+
+#endif // HWGC_WORKLOAD_DACAPO_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Query-latency harness implementation.
+ */
+
+#include "latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace hwgc::workload
+{
+
+double
+LatencyResult::percentile(double q) const
+{
+    panic_if(samples.empty(), "no latency samples");
+    std::vector<double> sorted;
+    sorted.reserve(samples.size());
+    for (const auto &s : samples) {
+        sorted.push_back(s.latencyMs);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+LatencyResult::meanMs() const
+{
+    double sum = 0.0;
+    for (const auto &s : samples) {
+        sum += s.latencyMs;
+    }
+    return samples.empty() ? 0.0 : sum / double(samples.size());
+}
+
+double
+LatencyResult::maxMs() const
+{
+    double m = 0.0;
+    for (const auto &s : samples) {
+        m = std::max(m, s.latencyMs);
+    }
+    return m;
+}
+
+LatencyResult
+runLatencyExperiment(const LatencyParams &params,
+                     const std::vector<double> &pause_durations_ms,
+                     double mutator_ms_between_gcs)
+{
+    panic_if(params.warmupQueries >= params.totalQueries,
+             "warm-up swallows every query");
+
+    // Lay out the pause timeline for the whole run: mutator period,
+    // pause, mutator period, pause, ... cycling the measured pauses.
+    const double run_ms =
+        params.issueIntervalMs * double(params.totalQueries) + 1000.0;
+    struct Pause { double start, end; };
+    std::vector<Pause> pauses;
+    if (!pause_durations_ms.empty() && mutator_ms_between_gcs > 0.0) {
+        double t = mutator_ms_between_gcs;
+        std::size_t i = 0;
+        while (t < run_ms) {
+            const double d = pause_durations_ms[i %
+                                                pause_durations_ms.size()];
+            pauses.push_back({t, t + d});
+            t += d + mutator_ms_between_gcs;
+            ++i;
+        }
+    }
+
+    Rng rng(params.seed);
+    LatencyResult result;
+    result.samples.reserve(params.totalQueries - params.warmupQueries);
+
+    double server_free = 0.0;
+    std::size_t pause_cursor = 0;
+    for (unsigned q = 0; q < params.totalQueries; ++q) {
+        const double issue = params.issueIntervalMs * double(q);
+        double start = std::max(issue, server_free);
+        bool near_pause = false;
+
+        // Service is preempted by any pause it overlaps: the whole
+        // process (including the serving thread) stops.
+        double service = params.serviceMeanMs +
+            rng.uniform() * params.serviceJitterMs;
+        while (pause_cursor < pauses.size() &&
+               pauses[pause_cursor].end <= start) {
+            ++pause_cursor;
+        }
+        std::size_t pc = pause_cursor;
+        double done = start + service;
+        while (pc < pauses.size() && pauses[pc].start < done) {
+            near_pause = true;
+            done += pauses[pc].end - pauses[pc].start;
+            ++pc;
+        }
+        server_free = done;
+
+        if (q >= params.warmupQueries) {
+            result.samples.push_back({issue, done - issue, near_pause});
+        }
+    }
+    return result;
+}
+
+} // namespace hwgc::workload

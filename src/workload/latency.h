@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The query-latency harness behind Fig 1b.
+ *
+ * The paper measured lusearch request latencies at 10 QPS over a 10K
+ * query run (1K warm-up discarded), "assuming that a request is
+ * issued every 100ms and accounting for coordinated omission", and
+ * showed that GC pauses make the tail two orders of magnitude longer
+ * than the median. This harness reproduces that methodology as an
+ * analytic queueing simulation: a fixed issue schedule, a single
+ * serving thread, and stop-the-world pauses injected from *measured*
+ * simulator pause durations. Issue times never depend on completion
+ * times, which is precisely the coordinated-omission correction.
+ */
+
+#ifndef HWGC_WORKLOAD_LATENCY_H
+#define HWGC_WORKLOAD_LATENCY_H
+
+#include <vector>
+
+#include "sim/random.h"
+
+namespace hwgc::workload
+{
+
+/** Latency-run configuration (defaults follow the paper). */
+struct LatencyParams
+{
+    double issueIntervalMs = 100.0; //!< 10 QPS.
+    unsigned totalQueries = 10000;
+    unsigned warmupQueries = 1000;  //!< Discarded from the results.
+    double serviceMeanMs = 0.5;     //!< Base query service time
+                                    //!< (scaled with the heaps).
+    double serviceJitterMs = 0.4;   //!< Uniform jitter on top.
+    std::uint64_t seed = 7;
+};
+
+/** One measured query. */
+struct QuerySample
+{
+    double issueMs = 0.0;
+    double latencyMs = 0.0;
+    bool nearPause = false; //!< Query overlapped or queued behind a GC.
+};
+
+/** Result of a latency run. */
+struct LatencyResult
+{
+    std::vector<QuerySample> samples; //!< Post-warm-up, issue order.
+
+    /** Latency at quantile @p q (0..1) across the samples. */
+    double percentile(double q) const;
+
+    double meanMs() const;
+    double maxMs() const;
+};
+
+/**
+ * Runs the latency experiment.
+ *
+ * @param params Issue schedule and service-time model.
+ * @param pause_durations_ms Measured GC pause lengths, cycled.
+ * @param mutator_ms_between_gcs Application time between pauses.
+ */
+LatencyResult runLatencyExperiment(
+    const LatencyParams &params,
+    const std::vector<double> &pause_durations_ms,
+    double mutator_ms_between_gcs);
+
+} // namespace hwgc::workload
+
+#endif // HWGC_WORKLOAD_LATENCY_H

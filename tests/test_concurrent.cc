@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for concurrent marking (paper §IV-D): the snapshot invariant
+ * under the write barrier, the Fig 3 hidden-object race without it,
+ * and black allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/concurrent.h"
+#include "runtime/heap_layout.h"
+
+namespace hwgc
+{
+namespace
+{
+
+using runtime::HeapLayout;
+using runtime::ObjRef;
+using runtime::StatusWord;
+
+struct ConcurrentRig
+{
+    explicit ConcurrentRig(std::uint64_t seed, std::uint64_t live = 800)
+        : heap(mem), builder(heap, graphFor(seed, live)),
+          device(mem, heap.pageTable(), core::HwgcConfig{})
+    {
+        builder.build();
+        heap.clearAllMarks();
+    }
+
+    static workload::GraphParams
+    graphFor(std::uint64_t seed, std::uint64_t live)
+    {
+        workload::GraphParams p;
+        p.liveObjects = live;
+        p.garbageObjects = live / 2;
+        p.numRoots = 8;
+        p.seed = seed;
+        return p;
+    }
+
+    mem::PhysMem mem;
+    runtime::Heap heap;
+    workload::GraphBuilder builder;
+    core::HwgcDevice device;
+};
+
+class ConcurrentProperty : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ConcurrentProperty, SnapshotInvariantHoldsWithBarrier)
+{
+    ConcurrentRig rig(GetParam());
+    driver::ConcurrentParams params;
+    params.seed = GetParam() * 13 + 1;
+    driver::ConcurrentMarkLab lab(rig.heap, rig.builder, rig.device,
+                                  params);
+    const auto result = lab.run();
+    EXPECT_EQ(result.lostObjects, 0u)
+        << "objects reachable at mark start were not marked";
+    EXPECT_GT(result.mutations, 0u);
+    EXPECT_GT(result.barrierEntries, 0u);
+    EXPECT_GE(result.markedAtEnd, result.startReachable);
+}
+
+TEST_P(ConcurrentProperty, SweepAfterConcurrentMarkIsSafe)
+{
+    ConcurrentRig rig(GetParam() + 1000);
+    driver::ConcurrentParams params;
+    params.seed = GetParam() * 7 + 3;
+    driver::ConcurrentMarkLab lab(rig.heap, rig.builder, rig.device,
+                                  params);
+    lab.run();
+    rig.device.runSweep();
+    rig.heap.onAfterSweep();
+    // Every object reachable now must have survived.
+    for (const ObjRef ref : rig.heap.computeReachable()) {
+        bool found = false;
+        for (const auto &obj : rig.heap.objects()) {
+            if (obj.ref == ref) {
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << "reachable object swept";
+        if (!found) {
+            break;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrentProperty,
+                         testing::Values(1ull, 2ull, 3ull, 4ull));
+
+TEST(Concurrent, Fig3RaceLosesObjectsWithoutBarrier)
+{
+    // Deterministically reproduce the paper's Fig 3: a reference is
+    // loaded into a register and removed from its old location before
+    // the traversal visits it, then stored into an already-visited
+    // object. Without a write barrier the BFS never sees the target.
+    mem::PhysMem mem;
+    runtime::Heap heap(mem);
+
+    // visited <- root slot 0 (marked early);
+    // chain of delay objects -> holder -> hidden (visited late).
+    const ObjRef root = heap.allocate(2, 0);
+    const ObjRef visited = heap.allocate(1, 0);
+    heap.addRoot(root);
+    heap.setRef(root, 0, visited);
+    ObjRef tail = root; // Build a long chain on slot 1.
+    ObjRef sentinel = root; // Link #20: marked long after `visited`
+                            // has been traced (the chain serializes).
+    for (int i = 0; i < 400; ++i) {
+        const ObjRef link = heap.allocate(1, 0);
+        heap.setRef(tail, tail == root ? 1 : 0, link);
+        tail = link;
+        if (i == 20) {
+            sentinel = link;
+        }
+    }
+    const ObjRef holder = heap.allocate(1, 0);
+    heap.setRef(tail, 0, holder);
+    const ObjRef hidden = heap.allocate(0, 4);
+    heap.setRef(holder, 0, hidden);
+    heap.publishRoots();
+    heap.clearAllMarks();
+
+    core::HwgcDevice device(mem, heap.pageTable(), core::HwgcConfig{});
+    device.configure(heap);
+    device.rootReader().start(HeapLayout::hwgcSpaceBase,
+                              heap.publishedRootCount());
+    auto &system = device.system();
+
+    // Run until the chain has passed the sentinel: `visited` was
+    // marked *and traced* long before, but `holder` is still pending.
+    while (!StatusWord::marked(heap.read(sentinel))) {
+        system.step();
+    }
+    ASSERT_TRUE(StatusWord::marked(heap.read(visited)));
+    ASSERT_FALSE(StatusWord::marked(heap.read(hidden)));
+
+    // The racy mutation, without a barrier.
+    heap.setRef(holder, 0, runtime::nullRef);
+    heap.setRef(visited, 0, hidden);
+
+    ASSERT_TRUE(system.runUntilIdle());
+    // The object is still reachable (visited -> hidden) but unmarked:
+    // the Fig 3 lost-object race.
+    EXPECT_TRUE(heap.computeReachable().count(hidden));
+    EXPECT_FALSE(StatusWord::marked(heap.read(hidden)));
+}
+
+TEST(Concurrent, Fig3RaceFixedByBarrier)
+{
+    // Same schedule, but the mutator logs the overwritten value into
+    // the root region (paper §IV-D write barrier).
+    mem::PhysMem mem;
+    runtime::Heap heap(mem);
+
+    const ObjRef root = heap.allocate(2, 0);
+    const ObjRef visited = heap.allocate(1, 0);
+    heap.addRoot(root);
+    heap.setRef(root, 0, visited);
+    ObjRef tail = root; // Build a long chain on slot 1.
+    ObjRef sentinel = root; // Link #20: marked long after `visited`
+                            // has been traced (the chain serializes).
+    for (int i = 0; i < 400; ++i) {
+        const ObjRef link = heap.allocate(1, 0);
+        heap.setRef(tail, tail == root ? 1 : 0, link);
+        tail = link;
+        if (i == 20) {
+            sentinel = link;
+        }
+    }
+    const ObjRef holder = heap.allocate(1, 0);
+    heap.setRef(tail, 0, holder);
+    const ObjRef hidden = heap.allocate(0, 4);
+    heap.setRef(holder, 0, hidden);
+    heap.publishRoots();
+    heap.clearAllMarks();
+
+    core::HwgcDevice device(mem, heap.pageTable(), core::HwgcConfig{});
+    device.configure(heap);
+    std::uint64_t region = heap.publishedRootCount();
+    device.rootReader().start(HeapLayout::hwgcSpaceBase, region);
+    auto &system = device.system();
+    while (!StatusWord::marked(heap.read(sentinel))) {
+        system.step();
+    }
+
+    // Barrier: log the old value of every overwritten slot.
+    heap.write(HeapLayout::hwgcSpaceBase + region * wordBytes,
+               heap.getRef(holder, 0)); // = hidden
+    device.rootReader().extend(++region);
+    heap.setRef(holder, 0, runtime::nullRef);
+
+    heap.write(HeapLayout::hwgcSpaceBase + region * wordBytes,
+               heap.getRef(visited, 0)); // Old value (null is fine).
+    device.rootReader().extend(++region);
+    heap.setRef(visited, 0, hidden);
+
+    ASSERT_TRUE(system.runUntilIdle());
+    EXPECT_TRUE(StatusWord::marked(heap.read(hidden)));
+}
+
+TEST(Concurrent, BlackAllocationKeepsNewObjects)
+{
+    ConcurrentRig rig(55);
+    driver::ConcurrentParams params;
+    params.allocFraction = 0.8; // Allocation heavy.
+    params.seed = 56;
+    driver::ConcurrentMarkLab lab(rig.heap, rig.builder, rig.device,
+                                  params);
+    const auto result = lab.run();
+    EXPECT_EQ(result.lostObjects, 0u);
+    rig.device.runSweep();
+    // onAfterSweep must not prune the black-allocated objects that
+    // are still attached to live anchors.
+    rig.heap.onAfterSweep();
+    for (const ObjRef ref : rig.heap.computeReachable()) {
+        bool found = false;
+        for (const auto &obj : rig.heap.objects()) {
+            if (obj.ref == ref) {
+                found = true;
+                break;
+            }
+        }
+        ASSERT_TRUE(found);
+    }
+}
+
+TEST(Concurrent, FloatingGarbageIsBounded)
+{
+    ConcurrentRig rig(66);
+    driver::ConcurrentParams params;
+    params.seed = 67;
+    driver::ConcurrentMarkLab lab(rig.heap, rig.builder, rig.device,
+                                  params);
+    const auto result = lab.run();
+    // The snapshot retains garbage created during the mark, but it
+    // cannot exceed the mutation volume (plus black allocations).
+    EXPECT_LE(result.floatingGarbage,
+              result.mutations * 2 + result.barrierEntries);
+}
+
+TEST(Concurrent, MoreChurnMeansMoreBarrierTraffic)
+{
+    auto run_with = [](std::uint64_t mutations) {
+        ConcurrentRig rig(77, 600);
+        driver::ConcurrentParams params;
+        params.totalMutations = mutations;
+        params.seed = 78;
+        driver::ConcurrentMarkLab lab(rig.heap, rig.builder,
+                                      rig.device, params);
+        return lab.run().barrierEntries;
+    };
+    EXPECT_LT(run_with(200), run_with(1200));
+}
+
+} // namespace
+} // namespace hwgc

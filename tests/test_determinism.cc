@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Determinism tests: the simulator must be bit-reproducible — same
+ * seeds, same cycle counts, same statistics — across runs and across
+ * configurations that should not affect results. This is what makes
+ * every number in EXPERIMENTS.md reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/gc_lab.h"
+
+namespace hwgc
+{
+namespace
+{
+
+struct RunSignature
+{
+    Tick hwMark = 0;
+    Tick hwSweep = 0;
+    std::uint64_t marked = 0;
+    std::uint64_t freed = 0;
+    std::uint64_t tracerRequests = 0;
+    std::uint64_t spilled = 0;
+    std::uint64_t dramBytes = 0;
+
+    bool
+    operator==(const RunSignature &o) const
+    {
+        return hwMark == o.hwMark && hwSweep == o.hwSweep &&
+            marked == o.marked && freed == o.freed &&
+            tracerRequests == o.tracerRequests &&
+            spilled == o.spilled && dramBytes == o.dramBytes;
+    }
+};
+
+RunSignature
+signatureFor(const core::HwgcConfig &config, std::uint64_t seed)
+{
+    auto profile = workload::smokeProfile();
+    profile.graph.seed = seed;
+    driver::LabConfig lab_config;
+    lab_config.runSw = false;
+    lab_config.hwgc = config;
+    driver::GcLab lab(profile, lab_config);
+    lab.run();
+    const auto &last = lab.results().back();
+    RunSignature sig;
+    sig.hwMark = last.hwMarkCycles;
+    sig.hwSweep = last.hwSweepCycles;
+    sig.marked = last.objectsMarked;
+    sig.freed = last.cellsFreed;
+    sig.tracerRequests = last.hw.tracerRequests;
+    sig.spilled = last.hw.entriesSpilled;
+    sig.dramBytes = last.hw.dramBytes;
+    return sig;
+}
+
+TEST(Determinism, IdenticalRunsAreCycleIdentical)
+{
+    const auto a = signatureFor(core::HwgcConfig{}, 7);
+    const auto b = signatureFor(core::HwgcConfig{}, 7);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Determinism, SeedsChangeTheRun)
+{
+    const auto a = signatureFor(core::HwgcConfig{}, 7);
+    const auto b = signatureFor(core::HwgcConfig{}, 8);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Determinism, IdealMemoryRunsAreReproducible)
+{
+    core::HwgcConfig config;
+    config.memModel = core::MemModel::Ideal;
+    const auto a = signatureFor(config, 9);
+    const auto b = signatureFor(config, 9);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Determinism, SharedCacheRunsAreReproducible)
+{
+    core::HwgcConfig config;
+    config.sharedCache = true;
+    const auto a = signatureFor(config, 10);
+    const auto b = signatureFor(config, 10);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Determinism, SwSideIsReproducibleToo)
+{
+    auto run = [] {
+        driver::GcLab lab(workload::smokeProfile(),
+                          driver::LabConfig{.runHw = false});
+        lab.run();
+        return std::pair{lab.results().back().swMarkCycles,
+                         lab.results().back().swSweepCycles};
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace hwgc

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the DRAM controller timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.h"
+
+namespace hwgc::mem
+{
+namespace
+{
+
+MemRequest
+read(Addr addr, unsigned size = 8)
+{
+    MemRequest req;
+    req.paddr = addr;
+    req.size = size;
+    req.op = Op::Read;
+    return req;
+}
+
+MemRequest
+write(Addr addr, unsigned size = 8)
+{
+    MemRequest req;
+    req.paddr = addr;
+    req.size = size;
+    req.op = Op::Write;
+    return req;
+}
+
+/** Atomic-mode latency of one request against a fresh device. */
+Tick
+atomicLatency(Dram &dram, const MemRequest &req, Tick now)
+{
+    std::array<Word, maxReqWords> scratch{};
+    return dram.accessAtomic(req, now, scratch);
+}
+
+class DramTest : public testing::Test
+{
+  protected:
+    DramParams params_;
+    PhysMem mem_;
+};
+
+TEST_F(DramTest, RowHitFasterThanRowMiss)
+{
+    Dram dram("d", params_, mem_);
+    const Tick first = atomicLatency(dram, read(0x0), 0);
+    // Same row: only CAS + burst.
+    const Tick hit = atomicLatency(dram, read(0x40), 1000);
+    // Same bank, different row: precharge + activate + CAS.
+    const Tick miss = atomicLatency(
+        dram, read(params_.rowBytes * params_.banks), 2000);
+    EXPECT_LT(hit, first);
+    EXPECT_LT(hit, miss);
+    EXPECT_GE(miss, params_.tRP + params_.tRCD + params_.tCAS);
+}
+
+TEST_F(DramTest, ClosedPagePolicyHasNoRowHits)
+{
+    params_.pagePolicy = DramParams::PagePolicy::Closed;
+    Dram dram("d", params_, mem_);
+    atomicLatency(dram, read(0x0), 0);
+    atomicLatency(dram, read(0x40), 1000);
+    EXPECT_EQ(dram.rowHits().value(), 0u);
+    EXPECT_EQ(dram.rowMisses().value(), 2u);
+}
+
+TEST_F(DramTest, BanksOverlap)
+{
+    Dram dram("d", params_, mem_);
+    // Two requests to different banks at the same time should not
+    // serialize their bank timing (only share the data bus).
+    atomicLatency(dram, read(0), 0);
+    const Tick other_bank = atomicLatency(
+        dram, read(params_.rowBytes), 0);
+    const Tick same_bank = atomicLatency(dram, read(0x80), 0);
+    EXPECT_LE(other_bank, same_bank + params_.tCAS);
+}
+
+TEST_F(DramTest, InFlightCaps)
+{
+    Dram dram("d", params_, mem_);
+    unsigned reads = 0;
+    while (dram.canAccept(read(Addr(reads) * 64))) {
+        dram.sendRequest(read(Addr(reads) * 64), 0);
+        ++reads;
+    }
+    EXPECT_EQ(reads, params_.maxReads);
+    unsigned writes = 0;
+    while (dram.canAccept(write(0x100000 + Addr(writes) * 64))) {
+        dram.sendRequest(write(0x100000 + Addr(writes) * 64), 0);
+        ++writes;
+    }
+    EXPECT_EQ(writes, params_.maxWrites);
+}
+
+/** Collects responses for the timed tests. */
+class Collector : public MemResponder
+{
+  public:
+    void
+    onResponse(const MemResponse &resp, Tick now) override
+    {
+        responses.push_back(resp);
+        lastTick = now;
+    }
+
+    std::vector<MemResponse> responses;
+    Tick lastTick = 0;
+};
+
+TEST_F(DramTest, TimedRequestsComplete)
+{
+    Dram dram("d", params_, mem_);
+    Collector collector;
+    dram.setResponder(&collector);
+    mem_.writeWord(0x1000, 77);
+
+    dram.sendRequest(read(0x1000), 0);
+    for (Tick t = 0; t < 1000 && collector.responses.empty(); ++t) {
+        dram.tick(t);
+    }
+    ASSERT_EQ(collector.responses.size(), 1u);
+    EXPECT_EQ(collector.responses[0].rdata[0], 77u);
+    EXPECT_FALSE(dram.busy());
+}
+
+TEST_F(DramTest, TimedWriteExecutesFunctionally)
+{
+    Dram dram("d", params_, mem_);
+    Collector collector;
+    dram.setResponder(&collector);
+
+    MemRequest req = write(0x2000);
+    req.wdata[0] = 1234;
+    dram.sendRequest(req, 0);
+    for (Tick t = 0; t < 1000 && collector.responses.empty(); ++t) {
+        dram.tick(t);
+    }
+    EXPECT_EQ(mem_.readWord(0x2000), 1234u);
+}
+
+TEST_F(DramTest, TimingOnlyRequestSkipsFunctionalWrite)
+{
+    Dram dram("d", params_, mem_);
+    Collector collector;
+    dram.setResponder(&collector);
+    mem_.writeWord(0x3000, 55);
+
+    MemRequest req = write(0x3000);
+    req.wdata[0] = 99;
+    req.timingOnly = true;
+    dram.sendRequest(req, 0);
+    for (Tick t = 0; t < 1000 && collector.responses.empty(); ++t) {
+        dram.tick(t);
+    }
+    EXPECT_EQ(mem_.readWord(0x3000), 55u); // Untouched.
+}
+
+TEST_F(DramTest, FrFcfsPrefersRowHits)
+{
+    // Queue a row miss (different row, same bank) then a row hit;
+    // FR-FCFS should complete the hit first.
+    Dram dram("d", params_, mem_);
+    Collector collector;
+    dram.setResponder(&collector);
+
+    atomicLatency(dram, read(0x0), 0); // Open row 0 of bank 0.
+    const Addr miss_addr = params_.rowBytes * params_.banks; // Bank 0.
+    MemRequest miss = read(miss_addr);
+    miss.tag = 1;
+    MemRequest hit = read(0x40);
+    hit.tag = 2;
+    dram.sendRequest(miss, 100);
+    dram.sendRequest(hit, 100);
+    for (Tick t = 100; t < 2000 && collector.responses.size() < 2; ++t) {
+        dram.tick(t);
+    }
+    ASSERT_EQ(collector.responses.size(), 2u);
+    EXPECT_EQ(collector.responses[0].req.tag, 2u);
+    EXPECT_EQ(collector.responses[1].req.tag, 1u);
+}
+
+TEST_F(DramTest, FifoPreservesOrder)
+{
+    params_.scheduler = DramParams::Scheduler::Fifo;
+    Dram dram("d", params_, mem_);
+    Collector collector;
+    dram.setResponder(&collector);
+
+    atomicLatency(dram, read(0x0), 0);
+    MemRequest miss = read(params_.rowBytes * params_.banks);
+    miss.tag = 1;
+    MemRequest hit = read(0x40);
+    hit.tag = 2;
+    dram.sendRequest(miss, 100);
+    dram.sendRequest(hit, 100);
+    for (Tick t = 100; t < 2000 && collector.responses.size() < 2; ++t) {
+        dram.tick(t);
+    }
+    ASSERT_EQ(collector.responses.size(), 2u);
+    EXPECT_EQ(collector.responses[0].req.tag, 1u);
+}
+
+TEST_F(DramTest, BandwidthTimeSeriesRecordsBytes)
+{
+    Dram dram("d", params_, mem_);
+    atomicLatency(dram, read(0x0, 64), 0);
+    atomicLatency(dram, read(0x1000, 64), 100);
+    std::uint64_t total = 0;
+    for (auto b : dram.bandwidth().buckets()) {
+        total += b;
+    }
+    EXPECT_EQ(total, 128u);
+    EXPECT_EQ(dram.bytesRead().value(), 128u);
+}
+
+TEST_F(DramTest, StatsReset)
+{
+    Dram dram("d", params_, mem_);
+    atomicLatency(dram, read(0x0), 0);
+    EXPECT_GT(dram.numReads().value(), 0u);
+    dram.resetStats();
+    EXPECT_EQ(dram.numReads().value(), 0u);
+    EXPECT_EQ(dram.rowMisses().value(), 0u);
+    EXPECT_EQ(dram.latency().count(), 0u);
+}
+
+TEST_F(DramTest, LargerBurstsOccupyBusLonger)
+{
+    Dram dram("d", params_, mem_);
+    const Tick small = atomicLatency(dram, read(0x0, 8), 0);
+    dram.resetBankState();
+    const Tick big = atomicLatency(dram, read(0x0, 64), 100000);
+    EXPECT_GT(big, small);
+}
+
+} // namespace
+} // namespace hwgc::mem

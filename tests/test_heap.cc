@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the managed heap: allocation, block formatting,
+ * roots, the reachability oracle and post-sweep resynchronization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/block_table.h"
+#include "runtime/heap.h"
+
+namespace hwgc::runtime
+{
+namespace
+{
+
+class HeapTest : public testing::Test
+{
+  protected:
+    mem::PhysMem mem_;
+    Heap heap_{mem_};
+};
+
+TEST_F(HeapTest, AllocateWritesObjectImage)
+{
+    const ObjRef ref = heap_.allocate(3, 2, Space::MarkSweep, 9, false);
+    const Word hdr = heap_.read(ref);
+    EXPECT_TRUE(StatusWord::live(hdr));
+    EXPECT_FALSE(StatusWord::marked(hdr));
+    EXPECT_EQ(StatusWord::numRefs(hdr), 3u);
+    EXPECT_EQ(StatusWord::typeId(hdr), 9u);
+
+    const Addr cell = ObjectModel::cellFromRef(ref, 3);
+    const Word w0 = heap_.read(cell);
+    EXPECT_TRUE(CellStart::isLive(w0));
+    EXPECT_EQ(CellStart::numRefs(w0), 3u);
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(heap_.getRef(ref, i), nullRef);
+    }
+}
+
+TEST_F(HeapTest, SetGetRef)
+{
+    const ObjRef a = heap_.allocate(2, 0);
+    const ObjRef b = heap_.allocate(0, 1);
+    heap_.setRef(a, 1, b);
+    EXPECT_EQ(heap_.getRef(a, 1), b);
+    EXPECT_EQ(heap_.getRef(a, 0), nullRef);
+}
+
+TEST_F(HeapTest, AllocationUsesSizeClasses)
+{
+    const ObjRef small = heap_.allocate(0, 0); // 16 bytes -> class 0.
+    const ObjRef big = heap_.allocate(20, 20); // 336 bytes -> 384.
+    ASSERT_EQ(heap_.blocks().size(), 2u);
+    const auto &blocks = heap_.blocks();
+    EXPECT_EQ(blocks[0].cellBytes, 16u);
+    EXPECT_EQ(blocks[1].cellBytes, 384u);
+    (void)small;
+    (void)big;
+}
+
+TEST_F(HeapTest, CellsComeFromTheSameBlockUntilFull)
+{
+    const std::uint64_t cells_per_block = blockBytes / 16;
+    for (std::uint64_t i = 0; i < cells_per_block; ++i) {
+        heap_.allocate(0, 0);
+    }
+    EXPECT_EQ(heap_.blocks().size(), 1u);
+    heap_.allocate(0, 0);
+    EXPECT_EQ(heap_.blocks().size(), 2u);
+}
+
+TEST_F(HeapTest, BlockTableEntryWritten)
+{
+    heap_.allocate(0, 0);
+    const Addr entry = heap_.blockTableEntryAddr(0);
+    EXPECT_EQ(heap_.read(entry), heap_.blocks()[0].base);
+    const Word geom = heap_.read(entry + wordBytes);
+    EXPECT_EQ(BlockTableEntry::cellBytes(geom), 16u);
+    // Free head advanced past the allocated cell.
+    const Addr head = heap_.read(entry + 2 * wordBytes);
+    EXPECT_EQ(head, heap_.blocks()[0].base + 16);
+}
+
+TEST_F(HeapTest, FreshBlockFreeListIsChained)
+{
+    heap_.allocate(0, 0);
+    const auto &block = heap_.blocks()[0];
+    // Walk the remainder of the free list.
+    Addr cursor = heap_.read(heap_.blockTableEntryAddr(0) +
+                             2 * wordBytes);
+    std::uint64_t length = 0;
+    while (cursor != nullRef) {
+        const Word w0 = heap_.read(cursor);
+        EXPECT_FALSE(CellStart::isLive(w0));
+        cursor = CellStart::nextFree(w0);
+        ++length;
+    }
+    EXPECT_EQ(length, blockBytes / block.cellBytes - 1);
+}
+
+TEST_F(HeapTest, OversizeObjectGoesToLos)
+{
+    const ObjRef big = heap_.allocate(2000, 0);
+    EXPECT_GE(big, HeapLayout::losBase);
+    EXPECT_EQ(heap_.objects().back().space, Space::Los);
+    EXPECT_EQ(heap_.blocks().size(), 0u);
+}
+
+TEST_F(HeapTest, ImmortalAllocation)
+{
+    const ObjRef obj = heap_.allocate(1, 1, Space::Immortal);
+    EXPECT_GE(obj, HeapLayout::immortalBase);
+    EXPECT_EQ(heap_.numRefs(obj), 1u);
+}
+
+TEST_F(HeapTest, RootsPublishToHwgcSpace)
+{
+    const ObjRef a = heap_.allocate(0, 0);
+    const ObjRef b = heap_.allocate(0, 0);
+    heap_.addRoot(a);
+    heap_.addRoot(b);
+    heap_.publishRoots();
+    EXPECT_EQ(heap_.publishedRootCount(), 2u);
+    EXPECT_EQ(heap_.read(HeapLayout::hwgcSpaceBase), a);
+    EXPECT_EQ(heap_.read(HeapLayout::hwgcSpaceBase + 8), b);
+}
+
+TEST_F(HeapTest, ReachabilityOracle)
+{
+    const ObjRef root = heap_.allocate(2, 0);
+    const ObjRef child = heap_.allocate(1, 0);
+    const ObjRef grandchild = heap_.allocate(0, 0);
+    const ObjRef orphan = heap_.allocate(0, 0);
+    heap_.setRef(root, 0, child);
+    heap_.setRef(child, 0, grandchild);
+    heap_.addRoot(root);
+
+    const auto reachable = heap_.computeReachable();
+    EXPECT_EQ(reachable.size(), 3u);
+    EXPECT_TRUE(reachable.count(root));
+    EXPECT_TRUE(reachable.count(child));
+    EXPECT_TRUE(reachable.count(grandchild));
+    EXPECT_FALSE(reachable.count(orphan));
+}
+
+TEST_F(HeapTest, OracleHandlesCycles)
+{
+    const ObjRef a = heap_.allocate(1, 0);
+    const ObjRef b = heap_.allocate(1, 0);
+    heap_.setRef(a, 0, b);
+    heap_.setRef(b, 0, a);
+    heap_.addRoot(a);
+    EXPECT_EQ(heap_.computeReachable().size(), 2u);
+}
+
+TEST_F(HeapTest, MarkBookkeeping)
+{
+    const ObjRef a = heap_.allocate(0, 0);
+    heap_.allocate(0, 0);
+    EXPECT_EQ(heap_.countMarked(), 0u);
+    heap_.write(a, heap_.read(a) | StatusWord::markBit);
+    EXPECT_EQ(heap_.countMarked(), 1u);
+    heap_.clearAllMarks();
+    EXPECT_EQ(heap_.countMarked(), 0u);
+}
+
+TEST_F(HeapTest, OnAfterSweepPrunesFreedCells)
+{
+    const ObjRef keep = heap_.allocate(0, 0);
+    const ObjRef drop = heap_.allocate(0, 0);
+    // Simulate a sweep: mark `keep`, free `drop`'s cell.
+    heap_.write(keep, heap_.read(keep) | StatusWord::markBit);
+    heap_.write(ObjectModel::cellFromRef(drop, 0), CellStart::makeFree(0));
+    EXPECT_EQ(heap_.onAfterSweep(), 1u);
+    ASSERT_EQ(heap_.objects().size(), 1u);
+    EXPECT_EQ(heap_.objects()[0].ref, keep);
+}
+
+TEST_F(HeapTest, OnAfterSweepPrunesUnmarkedImmortal)
+{
+    const ObjRef live = heap_.allocate(0, 0, Space::Immortal);
+    heap_.allocate(0, 0, Space::Immortal); // Dead: never marked.
+    heap_.write(live, heap_.read(live) | StatusWord::markBit);
+    EXPECT_EQ(heap_.onAfterSweep(), 1u);
+    ASSERT_EQ(heap_.objects().size(), 1u);
+    EXPECT_EQ(heap_.objects()[0].ref, live);
+}
+
+TEST_F(HeapTest, FreedCellsAreReused)
+{
+    const ObjRef a = heap_.allocate(0, 0);
+    const Addr cell = ObjectModel::cellFromRef(a, 0);
+    // Free it behind the runtime's back (as a sweep would).
+    heap_.write(cell, CellStart::makeFree(
+        heap_.read(heap_.blockTableEntryAddr(0) + 2 * wordBytes)));
+    heap_.write(heap_.blockTableEntryAddr(0) + 2 * wordBytes, cell);
+    heap_.onAfterSweep();
+    const ObjRef b = heap_.allocate(0, 0);
+    EXPECT_EQ(ObjectModel::cellFromRef(b, 0), cell);
+}
+
+TEST_F(HeapTest, ObjectBytesDependsOnLayout)
+{
+    mem::PhysMem mem2;
+    HeapParams tib;
+    tib.layout = Layout::Tib;
+    Heap tib_heap(mem2, tib);
+    EXPECT_EQ(heap_.objectBytes(2, 3), (2 + 2 + 3) * 8u);
+    EXPECT_EQ(tib_heap.objectBytes(2, 3), (2 + 2 + 3 + 1) * 8u);
+}
+
+TEST_F(HeapTest, TibLayoutWritesTibPointer)
+{
+    mem::PhysMem mem2;
+    HeapParams params;
+    params.layout = Layout::Tib;
+    Heap tib_heap(mem2, params);
+    const ObjRef obj = tib_heap.allocate(1, 0, Space::MarkSweep, 7);
+    const Word tib_ptr = tib_heap.read(obj + wordBytes);
+    EXPECT_GE(tib_ptr, HeapLayout::immortalBase);
+}
+
+TEST_F(HeapTest, PageTableCoversHeapRegions)
+{
+    heap_.allocate(0, 0); // Carves a block, mapping its pages.
+    const auto &pt = heap_.pageTable();
+    EXPECT_TRUE(pt.translate(heap_.blocks()[0].base).has_value());
+    EXPECT_TRUE(pt.translate(HeapLayout::hwgcSpaceBase).has_value());
+    EXPECT_TRUE(pt.translate(HeapLayout::blockTableBase).has_value());
+    EXPECT_TRUE(pt.translate(HeapLayout::losBase).has_value());
+    EXPECT_TRUE(pt.translate(HeapLayout::immortalBase).has_value());
+}
+
+TEST_F(HeapTest, BytesAllocatedGrows)
+{
+    EXPECT_EQ(heap_.bytesAllocated(), 0u);
+    heap_.allocate(0, 0);
+    EXPECT_EQ(heap_.bytesAllocated(), 16u); // One 16-byte cell.
+}
+
+} // namespace
+} // namespace hwgc::runtime

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * End-to-end tests of the GC accelerator: functional equivalence with
+ * the oracle and the software collector across the whole design space
+ * (compression, mark-bit cache, shared cache, layouts, coupled/tagged
+ * tracer, sweeper counts, memory models), plus unit-level behaviours
+ * like the paper's transfer-size example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hwgc_device.h"
+#include "core/tracer.h"
+#include "cpu/core_model.h"
+#include "gc/sw_collector.h"
+#include "gc/verifier.h"
+#include "runtime/heap_layout.h"
+#include "workload/graph_gen.h"
+
+namespace hwgc
+{
+namespace
+{
+
+using core::HwgcConfig;
+using runtime::HeapLayout;
+
+TEST(Tracer, PaperTransferSizeExample)
+{
+    // Paper Fig 14: "If we need to copy 15 references (15x8 B) at
+    // 0x1a18, we therefore issue requests of transfer sizes
+    // 8, 32, 64, 16 (in this order)".
+    Addr addr = 0x1a18;
+    std::uint64_t remaining = 15 * 8;
+    std::vector<unsigned> sizes;
+    while (remaining > 0) {
+        const unsigned size = core::Tracer::nextTransferSize(
+            addr, remaining);
+        sizes.push_back(size);
+        addr += size;
+        remaining -= size;
+    }
+    EXPECT_EQ(sizes, (std::vector<unsigned>{8, 32, 64, 16}));
+}
+
+TEST(Tracer, TransferSizesAlwaysTileExactly)
+{
+    for (Addr base : {0x1000ull, 0x1008ull, 0x1010ull, 0x1038ull}) {
+        for (unsigned n = 1; n <= 64; ++n) {
+            Addr addr = base;
+            std::uint64_t remaining = std::uint64_t(n) * 8;
+            unsigned guard = 0;
+            while (remaining > 0) {
+                const unsigned size = core::Tracer::nextTransferSize(
+                    addr, remaining);
+                ASSERT_TRUE(mem::validTransfer(addr, size));
+                ASSERT_LE(size, remaining);
+                addr += size;
+                remaining -= size;
+                ASSERT_LT(++guard, 100u);
+            }
+        }
+    }
+}
+
+/** A heap + both collectors, built for one shape/seed. */
+struct Rig
+{
+    Rig(const workload::GraphParams &graph, const HwgcConfig &config,
+        runtime::Layout layout = runtime::Layout::Bidirectional)
+        : heap(mem, makeHeapParams(layout)), builder(heap, graph)
+    {
+        builder.build();
+        heap.clearAllMarks();
+        heap.publishRoots();
+        device = std::make_unique<core::HwgcDevice>(
+            mem, heap.pageTable(), config);
+        device->configure(heap);
+    }
+
+    static runtime::HeapParams
+    makeHeapParams(runtime::Layout layout)
+    {
+        runtime::HeapParams params;
+        params.layout = layout;
+        return params;
+    }
+
+    mem::PhysMem mem;
+    runtime::Heap heap;
+    workload::GraphBuilder builder;
+    std::unique_ptr<core::HwgcDevice> device;
+};
+
+workload::GraphParams
+testGraph(std::uint64_t seed, std::uint64_t live = 900)
+{
+    workload::GraphParams p;
+    p.liveObjects = live;
+    p.garbageObjects = live / 2;
+    p.numRoots = 8;
+    p.arrayFraction = 0.15;
+    p.seed = seed;
+    return p;
+}
+
+/**
+ * Compares two physical-memory snapshots over heap state only,
+ * ignoring each collector's private scratch (the CPU's in-memory mark
+ * queue and the unit's spill region).
+ */
+bool
+heapStateEqual(const mem::PhysMem::Snapshot &a,
+               const mem::PhysMem::Snapshot &b, std::string *why)
+{
+    auto excluded = [](std::uint64_t page_idx) {
+        const Addr addr = page_idx * pageBytes;
+        const bool sw_queue = addr >= HeapLayout::swQueueBase &&
+            addr < HeapLayout::swQueueBase + HeapLayout::swQueueSize;
+        const bool spill = addr >= HeapLayout::spillBase &&
+            addr < HeapLayout::spillBase + HeapLayout::spillSize;
+        return sw_queue || spill;
+    };
+    const std::vector<std::uint8_t> zero(pageBytes, 0);
+    auto page_of = [&zero](const mem::PhysMem::Snapshot &snap,
+                           std::uint64_t idx)
+        -> const std::vector<std::uint8_t> & {
+        const auto it = snap.pages.find(idx);
+        return it == snap.pages.end() ? zero : it->second;
+    };
+    std::set<std::uint64_t> keys;
+    for (const auto &[idx, data] : a.pages) {
+        keys.insert(idx);
+    }
+    for (const auto &[idx, data] : b.pages) {
+        keys.insert(idx);
+    }
+    for (const auto idx : keys) {
+        if (excluded(idx)) {
+            continue;
+        }
+        if (page_of(a, idx) != page_of(b, idx)) {
+            if (why != nullptr) {
+                *why = "page at 0x" + [idx] {
+                    std::ostringstream os;
+                    os << std::hex << idx * pageBytes;
+                    return os.str();
+                }();
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Configurations spanning the design space. */
+HwgcConfig
+configFor(unsigned variant)
+{
+    HwgcConfig config;
+    switch (variant) {
+      case 0: // Baseline.
+        break;
+      case 1: // Compression (Fig 19 "Comp.").
+        config.compressRefs = true;
+        break;
+      case 2: // Mark-bit cache (Fig 21).
+        config.markBitCacheEntries = 64;
+        break;
+      case 3: // Tiny mark queue: heavy spilling (Fig 19).
+        config.markQueueEntries = 32;
+        break;
+      case 4: // Shared-cache design (Fig 18a).
+        config.sharedCache = true;
+        break;
+      case 5: // Ideal memory (Fig 17).
+        config.memModel = core::MemModel::Ideal;
+        break;
+      case 6: // Coupled tracer ablation.
+        config.decoupledTracer = false;
+        break;
+      case 7: // Tagged tracer ablation.
+        config.tracerTagSlots = 4;
+        break;
+      case 8: // Four sweepers (Fig 20).
+        config.numSweepers = 4;
+        break;
+      case 9: // FIFO memory scheduler ablation (§VI-A).
+        config.dram.scheduler = mem::DramParams::Scheduler::Fifo;
+        break;
+      default:
+        panic("unknown variant");
+    }
+    return config;
+}
+
+class HwgcProperty
+    : public testing::TestWithParam<std::tuple<unsigned, std::uint64_t>>
+{
+};
+
+TEST_P(HwgcProperty, MarksEqualOracleAndSweepIsSound)
+{
+    const auto [variant, seed] = GetParam();
+    Rig rig(testGraph(seed), configFor(variant));
+    rig.device->collect();
+    const auto marks = gc::verifyMarks(rig.heap);
+    EXPECT_TRUE(marks.ok) << marks.error;
+    const auto swept = gc::verifySweptHeap(rig.heap);
+    EXPECT_TRUE(swept.ok) << swept.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, HwgcProperty,
+    testing::Combine(testing::Range(0u, 10u),
+                     testing::Values(101ull, 202ull)));
+
+TEST(Hwgc, FinalMemoryMatchesSoftwareCollector)
+{
+    // Run the same pause through both engines; the heap images must
+    // be bit-identical (marks, free lists, block summaries).
+    const auto graph = testGraph(42);
+
+    Rig rig(graph, configFor(0));
+    const auto before = rig.mem.snapshot();
+
+    mem::Dram dram("cpu.dram", mem::DramParams{}, rig.mem);
+    cpu::CoreModel core("core", cpu::CoreParams{}, rig.mem,
+                        rig.heap.pageTable(), dram);
+    gc::SwCollector sw(rig.heap, core);
+    sw.collect();
+    const auto after_sw = rig.mem.snapshot();
+
+    rig.mem.restore(before);
+    rig.device->collect();
+    const auto after_hw = rig.mem.snapshot();
+
+    std::string why;
+    EXPECT_TRUE(heapStateEqual(after_sw, after_hw, &why)) << why;
+}
+
+TEST(Hwgc, SweeperCountDoesNotChangeResults)
+{
+    const auto graph = testGraph(77);
+    std::optional<mem::PhysMem::Snapshot> reference;
+    for (unsigned sweepers : {1u, 2u, 5u, 8u}) {
+        HwgcConfig config;
+        config.numSweepers = sweepers;
+        Rig rig(graph, config);
+        rig.device->collect();
+        const auto snap = rig.mem.snapshot();
+        if (!reference) {
+            reference = snap;
+        } else {
+            std::string why;
+            EXPECT_TRUE(heapStateEqual(*reference, snap, &why))
+                << sweepers << " sweepers: " << why;
+        }
+    }
+}
+
+TEST(Hwgc, CompressionDoesNotChangeResults)
+{
+    const auto graph = testGraph(88);
+    Rig plain(graph, configFor(0));
+    plain.device->collect();
+    const auto plain_snap = plain.mem.snapshot();
+
+    Rig comp(graph, configFor(1));
+    comp.device->collect();
+    std::string why;
+    EXPECT_TRUE(heapStateEqual(plain_snap, comp.mem.snapshot(), &why))
+        << why;
+}
+
+TEST(Hwgc, SpillStressStillCorrect)
+{
+    // A 32-entry queue against a 3000-object live set forces heavy
+    // spill traffic.
+    Rig rig(testGraph(3, 3000), configFor(3));
+    rig.device->runMark();
+    EXPECT_GT(rig.device->markQueue().spillWriteRequests(), 10u);
+    const auto marks = gc::verifyMarks(rig.heap);
+    EXPECT_TRUE(marks.ok) << marks.error;
+}
+
+TEST(Hwgc, MarkBitCacheFiltersRepeats)
+{
+    workload::GraphParams graph = testGraph(5);
+    graph.hotObjects = 16;
+    graph.hotRefFraction = 0.4;
+
+    Rig without(graph, configFor(0));
+    without.device->runMark();
+    const auto issued_without = without.device->marker().marksIssued();
+
+    Rig with(graph, configFor(2));
+    with.device->runMark();
+    EXPECT_GT(with.device->marker().markCacheHits(), 0u);
+    EXPECT_LT(with.device->marker().marksIssued(), issued_without);
+    const auto marks = gc::verifyMarks(with.heap);
+    EXPECT_TRUE(marks.ok) << marks.error;
+}
+
+TEST(Hwgc, TibLayoutCostsExtraReads)
+{
+    const auto graph = testGraph(7);
+    HwgcConfig bidir_config;
+    Rig bidir(graph, bidir_config);
+    bidir.device->runMark();
+
+    HwgcConfig tib_config;
+    tib_config.layout = runtime::Layout::Tib;
+    Rig tib(graph, tib_config, runtime::Layout::Tib);
+    tib.device->runMark();
+
+    EXPECT_GT(tib.device->tracer().tibExtraReads(), 0u);
+    EXPECT_GT(tib.device->tracer().requestsIssued(),
+              bidir.device->tracer().requestsIssued());
+    // Both still compute correct marks.
+    const auto marks = gc::verifyMarks(tib.heap);
+    EXPECT_TRUE(marks.ok) << marks.error;
+}
+
+TEST(Hwgc, DecouplingSpeedsUpTheMark)
+{
+    const auto graph = testGraph(9, 1500);
+    Rig decoupled(graph, configFor(0));
+    const auto fast = decoupled.device->runMark();
+    Rig coupled(graph, configFor(6));
+    const auto slow = coupled.device->runMark();
+    EXPECT_LT(fast.cycles, slow.cycles);
+}
+
+TEST(Hwgc, UntaggedTracerBeatsTaggedTracer)
+{
+    const auto graph = testGraph(10, 1500);
+    Rig untagged(graph, configFor(0));
+    const auto fast = untagged.device->runMark();
+    Rig tagged(graph, configFor(7));
+    const auto slow = tagged.device->runMark();
+    EXPECT_LE(fast.cycles, slow.cycles);
+}
+
+TEST(Hwgc, FrFcfsBeatsFifo)
+{
+    // §VI-A: "performance was significantly improved changing from
+    // FIFO MAS to FR-FCFS".
+    const auto graph = testGraph(11, 1500);
+    Rig frfcfs(graph, configFor(0));
+    const auto fast = frfcfs.device->runMark();
+    Rig fifo(graph, configFor(9));
+    const auto slow = fifo.device->runMark();
+    EXPECT_LT(fast.cycles, slow.cycles);
+}
+
+TEST(Hwgc, StatusRegisterTransitions)
+{
+    Rig rig(testGraph(12, 300), configFor(0));
+    EXPECT_EQ(rig.device->regs().status, core::MmioRegs::Idle);
+    rig.device->runMark();
+    EXPECT_EQ(rig.device->regs().status, core::MmioRegs::Idle);
+    rig.device->runSweep();
+    EXPECT_EQ(rig.device->regs().status, core::MmioRegs::Idle);
+}
+
+TEST(Hwgc, ConfigureProgramsRegistersFromHeap)
+{
+    Rig rig(testGraph(13, 300), configFor(0));
+    const auto &regs = rig.device->regs();
+    EXPECT_EQ(regs.pageTableBase, rig.heap.pageTable().root());
+    EXPECT_EQ(regs.hwgcSpaceBase, HeapLayout::hwgcSpaceBase);
+    EXPECT_EQ(regs.rootCount, rig.heap.publishedRootCount());
+    EXPECT_EQ(regs.blockCount, rig.heap.blocks().size());
+    EXPECT_EQ(regs.spillBase, HeapLayout::spillBase);
+}
+
+TEST(Hwgc, MarkedCountMatchesDevice)
+{
+    Rig rig(testGraph(14), configFor(0));
+    const auto result = rig.device->runMark();
+    // The marker can observe the same unmarked header from two
+    // in-flight reads (a benign race the write-back scheme allows),
+    // so its newly-marked count may exceed — never undercount — the
+    // unique reachable set.
+    EXPECT_GE(result.objectsMarked, rig.heap.countMarked());
+    EXPECT_LE(result.objectsMarked,
+              rig.heap.countMarked() + rig.heap.countMarked() / 10);
+    EXPECT_EQ(rig.heap.countMarked(),
+              rig.heap.computeReachable().size());
+}
+
+TEST(Hwgc, SweepCountsFreedCells)
+{
+    Rig rig(testGraph(15), configFor(0));
+    rig.device->runMark();
+    const auto sweep = rig.device->runSweep();
+    EXPECT_GT(sweep.cellsFreed, 0u);
+    // cellsFreed counts all cells placed on free lists (garbage plus
+    // never-allocated cells of partially used blocks).
+    std::uint64_t total_cells = 0;
+    for (const auto &block : rig.heap.blocks()) {
+        total_cells += runtime::blockBytes / block.cellBytes;
+    }
+    EXPECT_LT(sweep.cellsFreed, total_cells);
+}
+
+TEST(Hwgc, SecondPauseAfterChurnStillCorrect)
+{
+    Rig rig(testGraph(16), configFor(0));
+    rig.device->collect();
+    rig.heap.onAfterSweep();
+    rig.builder.mutate(0.4);
+    rig.heap.clearAllMarks();
+    rig.heap.publishRoots();
+    rig.device->resetPhaseState();
+    rig.device->resetStats();
+    rig.device->configure(rig.heap);
+    rig.device->collect();
+    const auto marks = gc::verifyMarks(rig.heap);
+    EXPECT_TRUE(marks.ok) << marks.error;
+    const auto swept = gc::verifySweptHeap(rig.heap);
+    EXPECT_TRUE(swept.ok) << swept.error;
+}
+
+TEST(Hwgc, RootReaderFeedsAllRoots)
+{
+    Rig rig(testGraph(17, 400), configFor(0));
+    rig.device->runMark();
+    std::uint64_t nonnull_roots = 0;
+    for (const auto root : rig.heap.roots()) {
+        nonnull_roots += root != runtime::nullRef;
+    }
+    EXPECT_EQ(rig.device->rootReader().rootsRead(), nonnull_roots);
+}
+
+TEST(Hwgc, BandwidthSeriesRecordsTraffic)
+{
+    Rig rig(testGraph(18), configFor(0));
+    rig.device->collect();
+    std::uint64_t bytes = 0;
+    for (const auto b : rig.device->dram()->bandwidth().buckets()) {
+        bytes += b;
+    }
+    EXPECT_GT(bytes, 0u);
+    EXPECT_EQ(bytes, rig.device->dram()->bytesRead().value() +
+              rig.device->dram()->bytesWritten().value());
+}
+
+} // namespace
+} // namespace hwgc

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the GcLab experiment harness (the §VI-A methodology).
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/gc_lab.h"
+
+namespace hwgc::driver
+{
+namespace
+{
+
+workload::BenchmarkProfile
+tinyProfile(unsigned gcs = 3)
+{
+    auto p = workload::smokeProfile();
+    p.numGCs = gcs;
+    p.graph.liveObjects = 1200;
+    p.graph.garbageObjects = 700;
+    return p;
+}
+
+TEST(GcLab, BothEnginesSeeTheSamePause)
+{
+    GcLab lab(tinyProfile());
+    const auto &results = lab.run();
+    ASSERT_EQ(results.size(), 3u);
+    for (const auto &r : results) {
+        // objectsMarked is set by whichever engine ran last but must
+        // agree with the workload: both engines saw identical input.
+        EXPECT_GT(r.objectsMarked, 0u);
+        EXPECT_GT(r.cellsFreed, 0u);
+        EXPECT_GT(r.swMarkCycles, r.hwMarkCycles);
+        EXPECT_GT(r.liveObjects, 0u);
+        EXPECT_GT(r.blocks, 0u);
+    }
+}
+
+TEST(GcLab, SwOnlyMode)
+{
+    LabConfig config;
+    config.runHw = false;
+    GcLab lab(tinyProfile(2), config);
+    const auto &results = lab.run();
+    for (const auto &r : results) {
+        EXPECT_GT(r.swMarkCycles, 0u);
+        EXPECT_EQ(r.hwMarkCycles, 0u);
+    }
+}
+
+TEST(GcLab, HwOnlyMode)
+{
+    LabConfig config;
+    config.runSw = false;
+    GcLab lab(tinyProfile(2), config);
+    const auto &results = lab.run();
+    for (const auto &r : results) {
+        EXPECT_EQ(r.swMarkCycles, 0u);
+        EXPECT_GT(r.hwMarkCycles, 0u);
+    }
+}
+
+TEST(GcLab, VerifyModePassesOnHealthyHeaps)
+{
+    LabConfig config;
+    config.verify = true;
+    GcLab lab(tinyProfile(2), config);
+    lab.run(); // Verification panics on any violation.
+    SUCCEED();
+}
+
+TEST(GcLab, AveragesMatchResults)
+{
+    GcLab lab(tinyProfile(2));
+    const auto &results = lab.run();
+    double sw = 0, hw = 0;
+    for (const auto &r : results) {
+        sw += double(r.swMarkCycles);
+        hw += double(r.hwMarkCycles);
+    }
+    EXPECT_DOUBLE_EQ(lab.avgSwMarkCycles(), sw / results.size());
+    EXPECT_DOUBLE_EQ(lab.avgHwMarkCycles(), hw / results.size());
+}
+
+TEST(GcLab, HwCountersPopulated)
+{
+    GcLab lab(tinyProfile(1));
+    const auto &results = lab.run();
+    const HwCounters &hw = results[0].hw;
+    EXPECT_GT(hw.tracerRequests, 0u);
+    EXPECT_GT(hw.dramBytes, 0u);
+    EXPECT_GT(hw.busCycles, 0u);
+    EXPECT_GT(hw.busBusyCycles, 0u);
+}
+
+TEST(GcLab, PausesEvolveWithChurn)
+{
+    GcLab lab(tinyProfile(3));
+    const auto &results = lab.run();
+    // Churn changes the live set; later pauses should differ from the
+    // first (not byte-for-byte identical workloads).
+    EXPECT_NE(results[0].objectsMarked, results[2].objectsMarked);
+}
+
+TEST(GcLab, DeterministicAcrossConstructions)
+{
+    auto run = [] {
+        GcLab lab(tinyProfile(2));
+        lab.run();
+        return std::pair{lab.avgSwMarkCycles(), lab.avgHwMarkCycles()};
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(GcLab, IdealMemoryConfigRuns)
+{
+    LabConfig config;
+    config.hwgc.memModel = core::MemModel::Ideal;
+    GcLab lab(tinyProfile(1), config);
+    const auto &results = lab.run();
+    EXPECT_GT(results[0].hwMarkCycles, 0u);
+    EXPECT_EQ(lab.cpuDram(), nullptr); // CPU uses the pipe as well.
+}
+
+} // namespace
+} // namespace hwgc::driver

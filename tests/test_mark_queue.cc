@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the spilling mark queue (paper Fig 12) including the
+ * compression scheme and the partial-granule regression that once
+ * deadlocked the traversal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mark_queue.h"
+#include "mem/ideal_mem.h"
+#include "runtime/heap_layout.h"
+
+namespace hwgc::core
+{
+namespace
+{
+
+/** Plumbing: queue -> bus -> ideal memory, manually clocked. */
+struct QueueRig
+{
+    explicit QueueRig(HwgcConfig config)
+        : ideal("mem", mem::IdealMemParams{}, mem),
+          bus("bus", mem::InterconnectParams{}, ideal),
+          port(bus, nullptr, "spill"),
+          queue("mq", config, &port, runtime::HeapLayout::spillBase,
+                runtime::HeapLayout::spillSize)
+    {
+        bus.setClientResponder(port.clientId(), &queue);
+    }
+
+    void
+    run(Tick cycles)
+    {
+        for (Tick t = 0; t < cycles; ++t) {
+            queue.tick(now);
+            bus.tick(now);
+            ideal.tick(now);
+            ++now;
+        }
+    }
+
+    mem::PhysMem mem;
+    mem::IdealMem ideal;
+    mem::Interconnect bus;
+    mem::BusPort port;
+    MarkQueue queue;
+    Tick now = 0;
+};
+
+HwgcConfig
+tinyQueueConfig(bool compress = false)
+{
+    HwgcConfig config;
+    config.markQueueEntries = 16;
+    // inQ/outQ must hold one spill granule (8 plain / 16 compressed).
+    config.spillQueueEntries = compress ? 16 : 8;
+    config.spillThrottle = compress ? 12 : 6;
+    config.compressRefs = compress;
+    return config;
+}
+
+TEST(MarkQueue, FifoWithinOnChipCapacity)
+{
+    QueueRig rig(tinyQueueConfig());
+    for (Addr i = 1; i <= 10; ++i) {
+        ASSERT_TRUE(rig.queue.canEnqueue());
+        rig.queue.enqueue(i * 8);
+    }
+    for (Addr i = 1; i <= 10; ++i) {
+        ASSERT_TRUE(rig.queue.canDequeue());
+        EXPECT_EQ(rig.queue.dequeue(), i * 8);
+    }
+    EXPECT_TRUE(rig.queue.empty());
+}
+
+TEST(MarkQueue, OverflowDivertsToOutQ)
+{
+    QueueRig rig(tinyQueueConfig());
+    for (Addr i = 0; i < 16 + 4; ++i) {
+        ASSERT_TRUE(rig.queue.canEnqueue());
+        rig.queue.enqueue(0x1000 + i * 8);
+    }
+    EXPECT_EQ(rig.queue.depth(), 20u);
+    EXPECT_FALSE(rig.queue.empty());
+}
+
+TEST(MarkQueue, SpillRoundTripPreservesEntries)
+{
+    QueueRig rig(tinyQueueConfig());
+    const unsigned total = 64;
+    std::set<Addr> sent;
+    unsigned enqueued = 0;
+    std::multiset<Addr> received;
+    // Interleave producing and ticking so spills flow.
+    while (enqueued < total || !rig.queue.empty()) {
+        if (enqueued < total && rig.queue.canEnqueue()) {
+            const Addr ref = 0x2000 + Addr(enqueued) * 8;
+            rig.queue.enqueue(ref);
+            sent.insert(ref);
+            ++enqueued;
+        }
+        // Drain slowly to force queue pressure.
+        if (rig.now % 7 == 0 && rig.queue.canDequeue()) {
+            received.insert(rig.queue.dequeue());
+        }
+        rig.run(1);
+        ASSERT_LT(rig.now, 100000u) << "queue failed to drain";
+    }
+    EXPECT_EQ(received.size(), sent.size());
+    for (const Addr ref : sent) {
+        EXPECT_EQ(received.count(ref), 1u) << std::hex << ref;
+    }
+    EXPECT_GT(rig.queue.spillWriteRequests(), 0u);
+    EXPECT_EQ(rig.queue.spillWriteRequests(),
+              rig.queue.spillReadRequests());
+}
+
+TEST(MarkQueue, PartialGranuleDoesNotDeadlock)
+{
+    // Regression: entries stranded in outQ (fewer than one granule)
+    // while the spill region holds data used to deadlock the queue.
+    QueueRig rig(tinyQueueConfig());
+    // Fill on-chip queue + enough outQ entries to spill granules,
+    // plus a partial remainder.
+    unsigned enqueued = 0;
+    while (rig.queue.canEnqueue() && enqueued < 16 + 8) {
+        rig.queue.enqueue(0x4000 + Addr(enqueued) * 8);
+        ++enqueued;
+    }
+    rig.run(100); // Let the granule spill; a remainder may linger.
+    // Now drain everything.
+    unsigned drained = 0;
+    while (drained < enqueued) {
+        if (rig.queue.canDequeue()) {
+            rig.queue.dequeue();
+            ++drained;
+        }
+        rig.run(1);
+        ASSERT_LT(rig.now, 100000u) << "deadlock draining the queue";
+    }
+    rig.run(100);
+    EXPECT_TRUE(rig.queue.empty());
+}
+
+TEST(MarkQueue, CompressionRoundTrips)
+{
+    QueueRig rig(tinyQueueConfig(true));
+    std::vector<Addr> refs;
+    for (unsigned i = 0; i < 48; ++i) {
+        refs.push_back(0x1000'0000 + Addr(i) * 24);
+    }
+    std::multiset<Addr> received;
+    std::size_t cursor = 0;
+    while (cursor < refs.size() || !rig.queue.empty()) {
+        if (cursor < refs.size() && rig.queue.canEnqueue()) {
+            rig.queue.enqueue(refs[cursor++]);
+        }
+        if (rig.now % 5 == 0 && rig.queue.canDequeue()) {
+            received.insert(rig.queue.dequeue());
+        }
+        rig.run(1);
+        ASSERT_LT(rig.now, 100000u);
+    }
+    for (const Addr ref : refs) {
+        EXPECT_EQ(received.count(ref), 1u) << std::hex << ref;
+    }
+}
+
+TEST(MarkQueue, CompressionDoublesCapacityAndHalvesSpill)
+{
+    // Same SRAM budget: compressed queue holds twice the entries
+    // before spilling, and each spill granule carries twice as many.
+    QueueRig plain(tinyQueueConfig(false));
+    QueueRig comp(tinyQueueConfig(true));
+    for (unsigned i = 0; i < 64; ++i) {
+        const Addr ref = 0x1000'0000 + Addr(i) * 8;
+        if (plain.queue.canEnqueue()) {
+            plain.queue.enqueue(ref);
+        }
+        if (comp.queue.canEnqueue()) {
+            comp.queue.enqueue(ref);
+        }
+        plain.run(2);
+        comp.run(2);
+    }
+    plain.run(200);
+    comp.run(200);
+    EXPECT_LT(comp.queue.spillWriteRequests(),
+              plain.queue.spillWriteRequests());
+}
+
+TEST(MarkQueue, ThrottleAssertsAtFillLevel)
+{
+    QueueRig rig(tinyQueueConfig());
+    EXPECT_FALSE(rig.queue.throttle());
+    // Fill the on-chip queue then outQ past the threshold without
+    // ticking (so nothing spills).
+    for (unsigned i = 0; i < 16 + 6; ++i) {
+        rig.queue.enqueue(0x8000 + Addr(i) * 8);
+    }
+    EXPECT_TRUE(rig.queue.throttle());
+}
+
+TEST(MarkQueue, DepthTracksAllStores)
+{
+    QueueRig rig(tinyQueueConfig());
+    for (unsigned i = 0; i < 20; ++i) {
+        rig.queue.enqueue(0x9000 + Addr(i) * 8);
+    }
+    EXPECT_EQ(rig.queue.depth(), 20u);
+    rig.run(50); // Some entries spill to memory; depth is unchanged.
+    EXPECT_EQ(rig.queue.depth(), 20u);
+    rig.queue.dequeue();
+    EXPECT_EQ(rig.queue.depth(), 19u);
+    EXPECT_GE(rig.queue.maxDepth(), 20u);
+}
+
+TEST(MarkQueue, ResetClearsState)
+{
+    QueueRig rig(tinyQueueConfig());
+    for (unsigned i = 0; i < 10; ++i) {
+        rig.queue.enqueue(0xa000 + Addr(i) * 8);
+    }
+    rig.run(200); // Ensure no spill traffic is in flight.
+    rig.queue.reset();
+    EXPECT_TRUE(rig.queue.empty());
+    EXPECT_FALSE(rig.queue.canDequeue());
+}
+
+TEST(MarkQueueDeathTest, CompressingWideAddressPanics)
+{
+    QueueRig rig(tinyQueueConfig(true));
+    EXPECT_DEATH(rig.queue.enqueue(1ULL << 40), "not compressible");
+}
+
+TEST(MarkQueueDeathTest, UnderflowPanics)
+{
+    QueueRig rig(tinyQueueConfig());
+    EXPECT_DEATH(rig.queue.dequeue(), "underflow");
+}
+
+} // namespace
+} // namespace hwgc::core

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the area and power/energy models (Fig 22 / Fig 23).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/area.h"
+#include "model/power.h"
+
+namespace hwgc::model
+{
+namespace
+{
+
+TEST(Area, RocketBreakdownShape)
+{
+    AreaModel model;
+    const auto rocket = model.rocketArea();
+    ASSERT_EQ(rocket.parts.size(), 4u);
+    // Fig 22b: the 256 KiB L2 dominates the core.
+    EXPECT_GT(rocket.part("L2 Cache"), rocket.part("L1 DCache"));
+    EXPECT_GT(rocket.part("L2 Cache"), rocket.part("Frontend"));
+    for (const auto &[name, mm2] : rocket.parts) {
+        EXPECT_GT(mm2, 0.0) << name;
+    }
+}
+
+TEST(Area, HeadlineRatio)
+{
+    // Paper §VI-C: "our GC unit is 18.5% the size of the CPU".
+    AreaModel model;
+    const double ratio = model.ratio(core::HwgcConfig{});
+    EXPECT_GT(ratio, 0.13);
+    EXPECT_LT(ratio, 0.24);
+}
+
+TEST(Area, SramEquivalent)
+{
+    // "comparable to the area of 64KB of SRAM".
+    AreaModel model;
+    const double kib = model.sramEquivalentKiB(core::HwgcConfig{});
+    EXPECT_GT(kib, 40.0);
+    EXPECT_LT(kib, 110.0);
+}
+
+TEST(Area, MarkQueueDominatesTheUnit)
+{
+    // Fig 22c: "most of which is taken by the mark queue".
+    AreaModel model;
+    const auto unit = model.hwgcArea(core::HwgcConfig{});
+    const double mq = unit.part("Mark Q.");
+    for (const auto &[name, mm2] : unit.parts) {
+        if (name != "Mark Q.") {
+            EXPECT_GT(mq, mm2) << name;
+        }
+    }
+}
+
+TEST(Area, ScalesWithMarkQueueSize)
+{
+    AreaModel model;
+    core::HwgcConfig small;
+    small.markQueueEntries = 256;
+    core::HwgcConfig big;
+    big.markQueueEntries = 16384; // The Fig 19 "130 KB" point.
+    EXPECT_GT(model.hwgcArea(big).part("Mark Q."),
+              4.0 * model.hwgcArea(small).part("Mark Q."));
+}
+
+TEST(Area, ScalesWithSweepers)
+{
+    AreaModel model;
+    core::HwgcConfig two;
+    core::HwgcConfig eight;
+    eight.numSweepers = 8;
+    EXPECT_GT(model.hwgcArea(eight).part("Sweeper"),
+              3.0 * model.hwgcArea(two).part("Sweeper"));
+}
+
+TEST(Area, MarkBitCacheAddsMarkerArea)
+{
+    AreaModel model;
+    core::HwgcConfig without;
+    core::HwgcConfig with;
+    with.markBitCacheEntries = 256;
+    EXPECT_GT(model.hwgcArea(with).part("Marker"),
+              model.hwgcArea(without).part("Marker"));
+}
+
+TEST(AreaDeathTest, UnknownPartExits)
+{
+    AreaModel model;
+    const auto rocket = model.rocketArea();
+    EXPECT_EXIT((void)rocket.part("Caboose"),
+                testing::ExitedWithCode(1), "no area part");
+}
+
+DramActivity
+activity(std::uint64_t bytes, Tick cycles)
+{
+    DramActivity a;
+    a.bytes = bytes;
+    a.reads = bytes / 64;
+    a.writes = bytes / 640;
+    a.activates = bytes / 128;
+    a.cycles = cycles;
+    return a;
+}
+
+TEST(Power, DramPowerGrowsWithBandwidth)
+{
+    PowerModel model;
+    const double low = model.dramPowerMw(activity(1 << 20, 10'000'000));
+    const double high = model.dramPowerMw(activity(32 << 20, 10'000'000));
+    EXPECT_GT(high, low);
+    EXPECT_GE(low, model.params().dramBackgroundMw);
+}
+
+TEST(Power, IdleIntervalIsBackgroundOnly)
+{
+    PowerModel model;
+    EXPECT_DOUBLE_EQ(model.dramPowerMw(DramActivity{}),
+                     PowerParams{}.dramBackgroundMw);
+}
+
+TEST(Power, UnitPowerBelowRocketPower)
+{
+    PowerModel model;
+    EXPECT_LT(model.unitPowerMw(core::HwgcConfig{}),
+              model.params().rocketCoreMw);
+}
+
+TEST(Power, Fig23Shape)
+{
+    // The unit finishes the same job in ~1/3 the time while moving
+    // the same bytes: its DRAM *power* is higher but total *energy*
+    // lower (paper: 14.5% better overall).
+    PowerModel model;
+    const std::uint64_t bytes = 100 << 20;
+    const DramActivity cpu_act = activity(bytes, 300'000'000);
+    const DramActivity hw_act = activity(bytes, 100'000'000);
+    const EnergyReport cpu = model.cpuEnergy(cpu_act);
+    const EnergyReport hw = model.hwgcEnergy(hw_act,
+                                             core::HwgcConfig{});
+    EXPECT_GT(hw.dramPowerMw, cpu.dramPowerMw);
+    EXPECT_LT(hw.energyMj(), cpu.energyMj());
+}
+
+TEST(Power, EnergyScalesWithTime)
+{
+    PowerModel model;
+    const EnergyReport brief = model.cpuEnergy(activity(1 << 20,
+                                                        1'000'000));
+    const EnergyReport lengthy = model.cpuEnergy(activity(1 << 20,
+                                                          10'000'000));
+    EXPECT_GT(lengthy.energyMj(), brief.energyMj());
+}
+
+} // namespace
+} // namespace hwgc::model

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the object encoding (status words, cell-start words,
+ * geometry) and the size-class table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/object_model.h"
+#include "runtime/block_table.h"
+#include "runtime/size_class.h"
+
+namespace hwgc::runtime
+{
+namespace
+{
+
+TEST(StatusWord, RoundTrip)
+{
+    const Word w = StatusWord::make(13, 0x2a, false);
+    EXPECT_FALSE(StatusWord::marked(w));
+    EXPECT_TRUE(StatusWord::live(w));
+    EXPECT_FALSE(StatusWord::isArray(w));
+    EXPECT_EQ(StatusWord::numRefs(w), 13u);
+    EXPECT_EQ(StatusWord::typeId(w), 0x2au);
+}
+
+TEST(StatusWord, ArrayFlagSetsMsbOfRefsField)
+{
+    // Paper §V-A: "for arrays, we set the MSB of these 32 bits to 1".
+    const Word w = StatusWord::make(100, 1, true);
+    EXPECT_TRUE(StatusWord::isArray(w));
+    EXPECT_NE(w & StatusWord::arrayFlagMsb, 0u);
+    EXPECT_EQ(StatusWord::numRefs(w), 100u); // Count unperturbed.
+}
+
+TEST(StatusWord, MarkViaFetchOr)
+{
+    Word w = StatusWord::make(5, 0, false);
+    const Word old = w;
+    w |= StatusWord::markBit;
+    EXPECT_FALSE(StatusWord::marked(old));
+    EXPECT_TRUE(StatusWord::marked(w));
+    EXPECT_EQ(StatusWord::numRefs(w), 5u); // Single fetch-or keeps #REFS.
+}
+
+TEST(StatusWordDeathTest, TooManyRefs)
+{
+    EXPECT_DEATH(StatusWord::make(1U << 31, 0, false),
+                 "too many references");
+}
+
+TEST(CellStart, LiveRoundTrip)
+{
+    const Word w = CellStart::makeLive(42);
+    EXPECT_TRUE(CellStart::isLive(w));
+    EXPECT_EQ(CellStart::numRefs(w), 42u);
+}
+
+TEST(CellStart, FreeRoundTrip)
+{
+    const Word w = CellStart::makeFree(0x1234'5678'9ab0);
+    EXPECT_FALSE(CellStart::isLive(w));
+    EXPECT_EQ(CellStart::nextFree(w), 0x1234'5678'9ab0u);
+}
+
+TEST(CellStart, NullLinkTerminatesList)
+{
+    const Word w = CellStart::makeFree(0);
+    EXPECT_FALSE(CellStart::isLive(w));
+    EXPECT_EQ(CellStart::nextFree(w), 0u);
+}
+
+TEST(CellStartDeathTest, MisalignedLink)
+{
+    EXPECT_DEATH(CellStart::makeFree(0x1001), "aligned");
+}
+
+TEST(ObjectModel, GeometryRoundTrip)
+{
+    const Addr cell = 0x1000'0000;
+    for (std::uint32_t n : {0u, 1u, 7u, 100u}) {
+        const ObjRef ref = ObjectModel::refFromCell(cell, n);
+        EXPECT_EQ(ObjectModel::cellFromRef(ref, n), cell);
+        EXPECT_EQ(ObjectModel::refsBase(ref, n),
+                  ref - Addr(n) * wordBytes);
+        // The reference section sits between cell start and header.
+        EXPECT_EQ(ObjectModel::refsBase(ref, n), cell + wordBytes);
+    }
+}
+
+TEST(ObjectModel, SlotAddresses)
+{
+    const ObjRef ref = ObjectModel::refFromCell(0x1000, 4);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(ObjectModel::refSlotAddr(ref, 4, i),
+                  0x1008 + Addr(i) * 8);
+    }
+    EXPECT_EQ(ObjectModel::payloadBase(ref), ref + 8);
+}
+
+TEST(ObjectModelDeathTest, SlotOutOfRange)
+{
+    const ObjRef ref = ObjectModel::refFromCell(0x1000, 2);
+    EXPECT_DEATH(ObjectModel::refSlotAddr(ref, 2, 2), "out of range");
+}
+
+TEST(ObjectModel, SizeWords)
+{
+    // start word + refs + header + payload.
+    EXPECT_EQ(ObjectModel::sizeWords(0, 0), 2u);
+    EXPECT_EQ(ObjectModel::sizeWords(3, 5), 10u);
+}
+
+TEST(SizeClasses, Monotone)
+{
+    for (unsigned i = 1; i < SizeClasses::count; ++i) {
+        EXPECT_GT(SizeClasses::cellBytes[i], SizeClasses::cellBytes[i - 1]);
+    }
+}
+
+TEST(SizeClasses, ClassForFits)
+{
+    for (std::uint64_t bytes : {1ull, 16ull, 17ull, 100ull, 8192ull}) {
+        const unsigned cls = SizeClasses::classFor(bytes);
+        ASSERT_LT(cls, SizeClasses::count);
+        EXPECT_GE(SizeClasses::bytesFor(cls), bytes);
+        if (cls > 0) {
+            EXPECT_LT(SizeClasses::cellBytes[cls - 1], bytes);
+        }
+    }
+}
+
+TEST(SizeClasses, OversizeGoesToLos)
+{
+    EXPECT_EQ(SizeClasses::classFor(SizeClasses::maxCellBytes + 1),
+              SizeClasses::count);
+}
+
+TEST(BlockTable, GeometryRoundTrip)
+{
+    const Word g = BlockTableEntry::makeGeometry(192, 6);
+    EXPECT_EQ(BlockTableEntry::cellBytes(g), 192u);
+    EXPECT_EQ(BlockTableEntry::sizeClass(g), 6u);
+}
+
+TEST(BlockTable, SummaryRoundTrip)
+{
+    const Word s = BlockTableEntry::makeSummary(85, true);
+    EXPECT_EQ(BlockTableEntry::freeCells(s), 85u);
+    EXPECT_TRUE(BlockTableEntry::hasLive(s));
+    const Word s2 = BlockTableEntry::makeSummary(0, false);
+    EXPECT_EQ(BlockTableEntry::freeCells(s2), 0u);
+    EXPECT_FALSE(BlockTableEntry::hasLive(s2));
+}
+
+TEST(BlockTable, EntryAddressStride)
+{
+    EXPECT_EQ(BlockTableEntry::addr(0x1000, 0), 0x1000u);
+    EXPECT_EQ(BlockTableEntry::addr(0x1000, 1), 0x1020u);
+    EXPECT_EQ(BlockTableEntry::addr(0x1000, 10), 0x1140u);
+}
+
+} // namespace
+} // namespace hwgc::runtime

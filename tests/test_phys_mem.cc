@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the functional physical memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/phys_mem.h"
+
+namespace hwgc::mem
+{
+namespace
+{
+
+TEST(PhysMem, ZeroFilledOnFirstTouch)
+{
+    PhysMem mem;
+    EXPECT_EQ(mem.readWord(0x1000), 0u);
+    EXPECT_EQ(mem.pagesTouched(), 0u); // Reads do not allocate.
+}
+
+TEST(PhysMem, WordRoundTrip)
+{
+    PhysMem mem;
+    mem.writeWord(0x2000, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(mem.readWord(0x2000), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(mem.readWord(0x2008), 0u);
+    EXPECT_EQ(mem.pagesTouched(), 1u);
+}
+
+TEST(PhysMem, FetchOrReturnsOldValue)
+{
+    PhysMem mem;
+    mem.writeWord(0x3000, 0xf0);
+    EXPECT_EQ(mem.fetchOrWord(0x3000, 0x0f), 0xf0u);
+    EXPECT_EQ(mem.readWord(0x3000), 0xffu);
+}
+
+TEST(PhysMem, BytesAcrossPageBoundary)
+{
+    PhysMem mem;
+    std::vector<std::uint8_t> src(100);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        src[i] = std::uint8_t(i);
+    }
+    const Addr addr = pageBytes - 50; // Straddles the first page.
+    mem.writeBytes(addr, src.data(), src.size());
+    std::vector<std::uint8_t> dst(100);
+    mem.readBytes(addr, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+    EXPECT_EQ(mem.pagesTouched(), 2u);
+}
+
+TEST(PhysMem, ZeroRange)
+{
+    PhysMem mem;
+    mem.writeWord(0x4000, ~0ULL);
+    mem.writeWord(0x4008, ~0ULL);
+    mem.zero(0x4000, 8);
+    EXPECT_EQ(mem.readWord(0x4000), 0u);
+    EXPECT_EQ(mem.readWord(0x4008), ~0ULL);
+}
+
+TEST(PhysMem, ExecuteRead)
+{
+    PhysMem mem;
+    for (unsigned i = 0; i < 8; ++i) {
+        mem.writeWord(0x5000 + i * 8, 100 + i);
+    }
+    MemRequest req;
+    req.paddr = 0x5000;
+    req.size = 64;
+    req.op = Op::Read;
+    std::array<Word, maxReqWords> rdata{};
+    mem.execute(req, rdata);
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_EQ(rdata[i], 100 + i);
+    }
+}
+
+TEST(PhysMem, ExecuteWrite)
+{
+    PhysMem mem;
+    MemRequest req;
+    req.paddr = 0x6000;
+    req.size = 16;
+    req.op = Op::Write;
+    req.wdata[0] = 1;
+    req.wdata[1] = 2;
+    std::array<Word, maxReqWords> rdata{};
+    mem.execute(req, rdata);
+    EXPECT_EQ(mem.readWord(0x6000), 1u);
+    EXPECT_EQ(mem.readWord(0x6008), 2u);
+}
+
+TEST(PhysMem, ExecuteFetchOr)
+{
+    PhysMem mem;
+    mem.writeWord(0x7000, 0x10);
+    MemRequest req;
+    req.paddr = 0x7000;
+    req.size = 8;
+    req.op = Op::FetchOr;
+    req.wdata[0] = 0x1;
+    std::array<Word, maxReqWords> rdata{};
+    mem.execute(req, rdata);
+    EXPECT_EQ(rdata[0], 0x10u);
+    EXPECT_EQ(mem.readWord(0x7000), 0x11u);
+}
+
+TEST(PhysMem, SnapshotRestore)
+{
+    PhysMem mem;
+    mem.writeWord(0x8000, 11);
+    mem.writeWord(0x9000, 22);
+    const PhysMem::Snapshot snap = mem.snapshot();
+    mem.writeWord(0x8000, 99);
+    mem.writeWord(0xa000, 33);
+    mem.restore(snap);
+    EXPECT_EQ(mem.readWord(0x8000), 11u);
+    EXPECT_EQ(mem.readWord(0x9000), 22u);
+    EXPECT_EQ(mem.readWord(0xa000), 0u);
+}
+
+TEST(PhysMem, ValidTransferRules)
+{
+    EXPECT_TRUE(validTransfer(0x1000, 8));
+    EXPECT_TRUE(validTransfer(0x1a20, 32));
+    EXPECT_TRUE(validTransfer(0x1a40, 64));
+    EXPECT_FALSE(validTransfer(0x1a18, 16)); // Misaligned for size.
+    EXPECT_FALSE(validTransfer(0x1000, 24)); // Not a legal size.
+    EXPECT_FALSE(validTransfer(0x1004, 8));  // Sub-word aligned.
+}
+
+TEST(PhysMemDeathTest, OutOfRangePanics)
+{
+    PhysMem mem(1 << 20);
+    EXPECT_DEATH(mem.readWord(2 << 20), "out of range");
+}
+
+TEST(PhysMemDeathTest, MisalignedWordPanics)
+{
+    PhysMem mem;
+    EXPECT_DEATH(mem.readWord(0x1001), "misaligned");
+}
+
+} // namespace
+} // namespace hwgc::mem

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: types, logging flags, RNG,
+ * statistics, and the clocked system driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/clocked.h"
+#include "sim/logging.h"
+#include "sim/random.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace hwgc
+{
+namespace
+{
+
+TEST(Types, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(Types, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1a1f, 8), 0x1a18u);
+    EXPECT_EQ(alignUp(0x1a1f, 8), 0x1a20u);
+    EXPECT_EQ(alignDown(0x1000, 4096), 0x1000u);
+    EXPECT_EQ(alignUp(0x1001, 4096), 0x2000u);
+    EXPECT_EQ(alignUp(0, 64), 0u);
+}
+
+TEST(Types, Log2AndDivCeil)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(4096), 12u);
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_EQ(divCeil(1, 64), 1u);
+}
+
+TEST(Types, BitsExtractInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 0, 8), 0xefu);
+    EXPECT_EQ(bits(0xdeadbeef, 8, 8), 0xbeu);
+    EXPECT_EQ(bits(~0ULL, 0, 64), ~0ULL);
+    const std::uint64_t v = insertBits(0, 8, 8, 0xab);
+    EXPECT_EQ(v, 0xab00u);
+    EXPECT_EQ(insertBits(v, 8, 8, 0xcd), 0xcd00u);
+}
+
+TEST(Logging, DebugFlags)
+{
+    EXPECT_FALSE(Debug::enabled("TestFlag"));
+    Debug::enable("TestFlag");
+    EXPECT_TRUE(Debug::enabled("TestFlag"));
+    EXPECT_TRUE(Debug::anyEnabled());
+    Debug::disable("TestFlag");
+    EXPECT_FALSE(Debug::enabled("TestFlag"));
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("user error"), testing::ExitedWithCode(1),
+                "user error");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true;
+    bool any_diff_seed_diff = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto va = a.next();
+        if (va != b.next()) {
+            all_equal = false;
+        }
+        if (va != c.next()) {
+            any_diff_seed_diff = true;
+        }
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed_diff);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        sum += double(rng.geometric(3.0, 1000));
+    }
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricZeroMean)
+{
+    Rng rng(1);
+    EXPECT_EQ(rng.geometric(0.0, 10), 0u);
+}
+
+TEST(Rng, GeometricRespectsMax)
+{
+    Rng rng(15);
+    for (int i = 0; i < 5000; ++i) {
+        EXPECT_LE(rng.geometric(50.0, 8), 8u);
+    }
+}
+
+TEST(Rng, IndexFromCdf)
+{
+    Rng rng(17);
+    const std::vector<double> cdf = {0.1, 0.2, 1.0};
+    std::array<int, 3> counts{};
+    for (int i = 0; i < 30000; ++i) {
+        ++counts[rng.indexFromCdf(cdf)];
+    }
+    EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+    EXPECT_NEAR(counts[2] / 30000.0, 0.8, 0.02);
+}
+
+TEST(Stats, ScalarBasics)
+{
+    stats::Scalar s("s");
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 6u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+    s.set(42);
+    EXPECT_EQ(s.value(), 42u);
+}
+
+TEST(Stats, VectorBasics)
+{
+    stats::Vector v("v", {"a", "b", "c"});
+    v.add(0);
+    v.add(1, 10);
+    v.add(2, 3);
+    EXPECT_EQ(v.value(0), 1u);
+    EXPECT_EQ(v.value(1), 10u);
+    EXPECT_EQ(v.total(), 14u);
+    EXPECT_EQ(v.label(2), "c");
+    v.reset();
+    EXPECT_EQ(v.total(), 0u);
+}
+
+TEST(StatsDeathTest, VectorOutOfRange)
+{
+    stats::Vector v("v", {"a"});
+    EXPECT_DEATH(v.add(1), "out of range");
+}
+
+TEST(Stats, HistogramMoments)
+{
+    stats::Histogram h("h");
+    h.sample(1);
+    h.sample(3);
+    h.sample(8);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 12u);
+    EXPECT_EQ(h.minValue(), 1u);
+    EXPECT_EQ(h.maxValue(), 8u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Stats, HistogramBuckets)
+{
+    stats::Histogram h("h", 8);
+    h.sample(0);
+    h.sample(1000000); // Clamped into the last bucket.
+    std::uint64_t total = 0;
+    for (auto b : h.buckets()) {
+        total += b;
+    }
+    EXPECT_EQ(total, 2u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Stats, TimeSeries)
+{
+    stats::TimeSeries ts("ts", 100);
+    ts.record(5, 10);
+    ts.record(99, 10);
+    ts.record(100, 7);
+    ts.record(950, 1);
+    ASSERT_EQ(ts.buckets().size(), 10u);
+    EXPECT_EQ(ts.buckets()[0], 20u);
+    EXPECT_EQ(ts.buckets()[1], 7u);
+    EXPECT_EQ(ts.buckets()[9], 1u);
+}
+
+TEST(Stats, GroupDump)
+{
+    stats::Scalar s("myScalar");
+    s += 3;
+    stats::Vector v("myVector", {"x"});
+    v.add(0, 2);
+    stats::Histogram h("myHist");
+    h.sample(4);
+    stats::Group g("grp");
+    g.add(&s);
+    g.add(&v);
+    g.add(&h);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("myScalar"), std::string::npos);
+    EXPECT_NE(out.find("myVector::x"), std::string::npos);
+    EXPECT_NE(out.find("myHist::mean"), std::string::npos);
+}
+
+/** A component that counts its ticks and goes idle after N. */
+class Counter : public Clocked
+{
+  public:
+    Counter(std::string name, Tick limit)
+        : Clocked(std::move(name)), limit_(limit)
+    {
+    }
+
+    void tick(Tick) override
+    {
+        if (count_ < limit_) {
+            ++count_;
+        }
+    }
+
+    bool busy() const override { return count_ < limit_; }
+
+    Tick count() const { return count_; }
+
+  private:
+    Tick limit_;
+    Tick count_ = 0;
+};
+
+TEST(System, StepAdvancesAllComponents)
+{
+    System sys;
+    Counter a("a", 100), b("b", 100);
+    sys.add(&a);
+    sys.add(&b);
+    sys.run(10);
+    EXPECT_EQ(sys.now(), 10u);
+    EXPECT_EQ(a.count(), 10u);
+    EXPECT_EQ(b.count(), 10u);
+}
+
+TEST(System, RunUntilIdleStopsWhenAllIdle)
+{
+    System sys;
+    Counter a("a", 5), b("b", 12);
+    sys.add(&a);
+    sys.add(&b);
+    EXPECT_TRUE(sys.runUntilIdle(1000));
+    EXPECT_EQ(a.count(), 5u);
+    EXPECT_EQ(b.count(), 12u);
+    EXPECT_LE(sys.now(), 13u);
+}
+
+TEST(System, RunUntilIdleBudgetExhausts)
+{
+    System sys;
+    Counter never("never", maxTick);
+    sys.add(&never);
+    EXPECT_FALSE(sys.runUntilIdle(50));
+    EXPECT_EQ(sys.now(), 50u);
+}
+
+} // namespace
+} // namespace hwgc

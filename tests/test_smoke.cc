@@ -1,0 +1,41 @@
+/**
+ * @file
+ * End-to-end smoke: both collectors on a small profile, oracle-
+ * verified, with identical results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/gc_lab.h"
+#include "gc/verifier.h"
+
+namespace hwgc
+{
+namespace
+{
+
+TEST(Smoke, BothCollectorsAgreeAndVerify)
+{
+    driver::LabConfig config;
+    config.verify = true;
+    driver::GcLab lab(workload::smokeProfile(), config);
+    const auto &results = lab.run();
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results) {
+        EXPECT_GT(r.swMarkCycles, 0u);
+        EXPECT_GT(r.swSweepCycles, 0u);
+        EXPECT_GT(r.hwMarkCycles, 0u);
+        EXPECT_GT(r.hwSweepCycles, 0u);
+        EXPECT_GT(r.objectsMarked, 0u);
+    }
+}
+
+TEST(Smoke, HwIsFasterThanSwOnMark)
+{
+    driver::GcLab lab(workload::smokeProfile());
+    lab.run();
+    EXPECT_LT(lab.avgHwMarkCycles(), lab.avgSwMarkCycles());
+}
+
+} // namespace
+} // namespace hwgc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for interconnect bandwidth throttling (paper §VII).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hwgc_device.h"
+#include "gc/verifier.h"
+#include "workload/graph_gen.h"
+
+namespace hwgc
+{
+namespace
+{
+
+struct ThrottleRig
+{
+    explicit ThrottleRig(double bytes_per_cycle)
+        : heap(mem), builder(heap, graph())
+    {
+        builder.build();
+        heap.clearAllMarks();
+        heap.publishRoots();
+        core::HwgcConfig config;
+        config.bus.throttleBytesPerCycle = bytes_per_cycle;
+        device = std::make_unique<core::HwgcDevice>(
+            mem, heap.pageTable(), config);
+        device->configure(heap);
+    }
+
+    static workload::GraphParams
+    graph()
+    {
+        workload::GraphParams p;
+        p.liveObjects = 1200;
+        p.garbageObjects = 700;
+        p.seed = 91;
+        return p;
+    }
+
+    mem::PhysMem mem;
+    runtime::Heap heap;
+    workload::GraphBuilder builder;
+    std::unique_ptr<core::HwgcDevice> device;
+};
+
+TEST(Throttle, ResultsUnchangedUnderThrottle)
+{
+    ThrottleRig rig(1.0);
+    rig.device->collect();
+    const auto marks = gc::verifyMarks(rig.heap);
+    EXPECT_TRUE(marks.ok) << marks.error;
+    const auto swept = gc::verifySweptHeap(rig.heap);
+    EXPECT_TRUE(swept.ok) << swept.error;
+}
+
+TEST(Throttle, TighterCapsAreMonotonicallySlower)
+{
+    Tick previous = 0;
+    for (const double cap : {0.0, 4.0, 1.0}) {
+        ThrottleRig rig(cap);
+        const auto result = rig.device->runMark();
+        if (previous != 0) {
+            EXPECT_GE(result.cycles, previous) << "cap " << cap;
+        }
+        previous = result.cycles;
+    }
+}
+
+TEST(Throttle, MeasuredBandwidthStaysUnderCap)
+{
+    const double cap = 1.0; // 1 byte/cycle = 1 GB/s at 1 GHz.
+    ThrottleRig rig(cap);
+    const auto result = rig.device->collect();
+    const double bytes =
+        double(rig.device->dram()->bytesRead().value() +
+               rig.device->dram()->bytesWritten().value());
+    const double bytes_per_cycle = bytes / double(result.cycles);
+    // The token bucket allows small bursts; allow 10% slack.
+    EXPECT_LE(bytes_per_cycle, cap * 1.10);
+}
+
+TEST(Throttle, ThrottledGrantsCounted)
+{
+    ThrottleRig tight(0.5);
+    tight.device->runMark();
+    EXPECT_GT(tight.device->bus().throttledGrants(), 0u);
+
+    ThrottleRig open(0.0);
+    open.device->runMark();
+    EXPECT_EQ(open.device->bus().throttledGrants(), 0u);
+}
+
+} // namespace
+} // namespace hwgc

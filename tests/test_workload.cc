@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for workload synthesis: graph generation, benchmark
+ * profiles, churn, and the query-latency harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/dacapo.h"
+#include "workload/graph_gen.h"
+#include "workload/latency.h"
+
+namespace hwgc::workload
+{
+namespace
+{
+
+GraphParams
+smallParams(std::uint64_t seed = 5)
+{
+    GraphParams p;
+    p.liveObjects = 800;
+    p.garbageObjects = 500;
+    p.numRoots = 8;
+    p.seed = seed;
+    return p;
+}
+
+TEST(GraphBuilder, BuildsRequestedObjectCount)
+{
+    mem::PhysMem mem;
+    runtime::Heap heap(mem);
+    GraphBuilder builder(heap, smallParams());
+    builder.build();
+    EXPECT_EQ(heap.objects().size(),
+              smallParams().liveObjects + smallParams().garbageObjects);
+}
+
+TEST(GraphBuilder, ReachableSetIsRoughlyLiveObjects)
+{
+    mem::PhysMem mem;
+    runtime::Heap heap(mem);
+    GraphBuilder builder(heap, smallParams());
+    builder.build();
+    const auto reachable = heap.computeReachable();
+    // Everything allocated in the live phase should be reachable;
+    // garbage-phase objects may incidentally reference live ones but
+    // not vice versa.
+    EXPECT_GE(reachable.size(), smallParams().liveObjects * 9 / 10);
+    EXPECT_LT(reachable.size(), heap.objects().size());
+}
+
+TEST(GraphBuilder, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        mem::PhysMem mem;
+        runtime::Heap heap(mem);
+        GraphBuilder builder(heap, smallParams(77));
+        builder.build();
+        std::vector<runtime::ObjRef> refs;
+        for (const auto &obj : heap.objects()) {
+            refs.push_back(obj.ref);
+        }
+        return refs;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(GraphBuilder, DifferentSeedsDiffer)
+{
+    auto count_edges = [](std::uint64_t seed) {
+        mem::PhysMem mem;
+        runtime::Heap heap(mem);
+        GraphBuilder builder(heap, smallParams(seed));
+        builder.build();
+        std::uint64_t nonnull = 0;
+        for (const auto &obj : heap.objects()) {
+            for (std::uint32_t i = 0; i < obj.numRefs; ++i) {
+                nonnull += heap.getRef(obj.ref, i) != runtime::nullRef;
+            }
+        }
+        return nonnull;
+    };
+    EXPECT_NE(count_edges(1), count_edges(2));
+}
+
+TEST(GraphBuilder, HotSetAttractsReferences)
+{
+    GraphParams p = smallParams();
+    p.hotObjects = 8;
+    p.hotRefFraction = 0.4;
+    mem::PhysMem mem;
+    runtime::Heap heap(mem);
+    GraphBuilder builder(heap, p);
+    builder.build();
+
+    // Count inbound edges to the first 8 (immortal hot) objects.
+    std::unordered_set<runtime::ObjRef> hot;
+    for (std::size_t i = 0; i < 8; ++i) {
+        hot.insert(heap.objects()[i].ref);
+    }
+    std::uint64_t hot_edges = 0, edges = 0;
+    for (const auto &obj : heap.objects()) {
+        for (std::uint32_t i = 0; i < obj.numRefs; ++i) {
+            const auto t = heap.getRef(obj.ref, i);
+            if (t != runtime::nullRef) {
+                ++edges;
+                hot_edges += hot.count(t);
+            }
+        }
+    }
+    EXPECT_GT(double(hot_edges) / double(edges), 0.05);
+}
+
+TEST(GraphBuilder, MutateCreatesGarbageAndNewObjects)
+{
+    mem::PhysMem mem;
+    runtime::Heap heap(mem);
+    GraphBuilder builder(heap, smallParams());
+    builder.build();
+    const auto before_objects = heap.objects().size();
+    const auto before_reachable = heap.computeReachable().size();
+    builder.mutate(0.3);
+    EXPECT_GT(heap.objects().size(), before_objects);
+    // Churn killed some subtrees: reachable set relative to the
+    // (grown) registry shrinks.
+    const auto reachable = heap.computeReachable();
+    EXPECT_LT(reachable.size(), heap.objects().size());
+    (void)before_reachable;
+}
+
+TEST(GraphBuilder, ArraysAppearWhenRequested)
+{
+    GraphParams p = smallParams();
+    p.arrayFraction = 0.5;
+    mem::PhysMem mem;
+    runtime::Heap heap(mem);
+    GraphBuilder builder(heap, p);
+    builder.build();
+    std::uint64_t arrays = 0;
+    for (const auto &obj : heap.objects()) {
+        arrays += runtime::StatusWord::isArray(heap.read(obj.ref));
+    }
+    EXPECT_GT(arrays, heap.objects().size() / 10);
+}
+
+TEST(Dacapo, SuiteHasSixBenchmarks)
+{
+    const auto suite = dacapoSuite();
+    ASSERT_EQ(suite.size(), 6u);
+    const std::vector<std::string> expected = {
+        "avrora", "luindex", "lusearch", "pmd", "sunflow", "xalan"};
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(suite[i].name, expected[i]);
+    }
+}
+
+TEST(Dacapo, ProfileLookup)
+{
+    EXPECT_EQ(dacapoProfile("pmd").name, "pmd");
+    EXPECT_GT(dacapoProfile("xalan").graph.liveObjects,
+              dacapoProfile("avrora").graph.liveObjects);
+}
+
+TEST(Dacapo, LuindexCarriesTheHotSet)
+{
+    const auto p = dacapoProfile("luindex");
+    EXPECT_EQ(p.graph.hotObjects, 56u); // Fig 21: "the same 56 objects".
+    EXPECT_GT(p.graph.hotRefFraction, 0.0);
+}
+
+TEST(DacapoDeathTest, UnknownProfile)
+{
+    EXPECT_EXIT(dacapoProfile("nope"), testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(Latency, NoPausesGivesTightTail)
+{
+    LatencyParams params;
+    params.totalQueries = 2000;
+    params.warmupQueries = 100;
+    const auto result = runLatencyExperiment(params, {}, 0.0);
+    EXPECT_EQ(result.samples.size(), 1900u);
+    // Service times are a few ms; without pauses p99 ~ p50.
+    EXPECT_LT(result.percentile(0.99), 2.0 * result.percentile(0.5) + 1);
+}
+
+TEST(Latency, PausesCreateTwoOrderOfMagnitudeTail)
+{
+    LatencyParams params;
+    params.totalQueries = 5000;
+    params.warmupQueries = 500;
+    // 150 ms pauses every ~1.5 s of mutator time (lusearch-like).
+    const auto result = runLatencyExperiment(params, {150.0}, 1500.0);
+    EXPECT_GT(result.maxMs(), 50.0 * result.percentile(0.5));
+    // Most requests are still fast (the Fig 1b CDF knee).
+    EXPECT_LT(result.percentile(0.5), 10.0);
+}
+
+TEST(Latency, CoordinatedOmissionCounted)
+{
+    // A pause longer than the issue interval must delay *queued*
+    // queries too: several consecutive samples see inflated latency.
+    LatencyParams params;
+    params.totalQueries = 3000;
+    params.warmupQueries = 100;
+    const auto result = runLatencyExperiment(params, {450.0}, 2000.0);
+    unsigned slow_streak = 0, best = 0;
+    for (const auto &s : result.samples) {
+        if (s.latencyMs > 50.0) {
+            best = std::max(best, ++slow_streak);
+        } else {
+            slow_streak = 0;
+        }
+    }
+    EXPECT_GE(best, 3u);
+}
+
+TEST(Latency, NearPauseFlagged)
+{
+    LatencyParams params;
+    params.totalQueries = 3000;
+    params.warmupQueries = 100;
+    const auto result = runLatencyExperiment(params, {100.0}, 900.0);
+    bool any_near = false, any_far = false;
+    for (const auto &s : result.samples) {
+        (s.nearPause ? any_near : any_far) = true;
+    }
+    EXPECT_TRUE(any_near);
+    EXPECT_TRUE(any_far);
+}
+
+TEST(Latency, PercentilesMonotone)
+{
+    LatencyParams params;
+    params.totalQueries = 2000;
+    params.warmupQueries = 100;
+    const auto result = runLatencyExperiment(params, {80.0}, 700.0);
+    EXPECT_LE(result.percentile(0.5), result.percentile(0.9));
+    EXPECT_LE(result.percentile(0.9), result.percentile(0.999));
+    EXPECT_LE(result.percentile(0.999), result.maxMs());
+    EXPECT_GT(result.meanMs(), 0.0);
+}
+
+} // namespace
+} // namespace hwgc::workload
