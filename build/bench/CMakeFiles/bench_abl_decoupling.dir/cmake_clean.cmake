@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_decoupling.dir/bench_abl_decoupling.cc.o"
+  "CMakeFiles/bench_abl_decoupling.dir/bench_abl_decoupling.cc.o.d"
+  "bench_abl_decoupling"
+  "bench_abl_decoupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_decoupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_layout.dir/bench_abl_layout.cc.o"
+  "CMakeFiles/bench_abl_layout.dir/bench_abl_layout.cc.o.d"
+  "bench_abl_layout"
+  "bench_abl_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_memsched.dir/bench_abl_memsched.cc.o"
+  "CMakeFiles/bench_abl_memsched.dir/bench_abl_memsched.cc.o.d"
+  "bench_abl_memsched"
+  "bench_abl_memsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_memsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

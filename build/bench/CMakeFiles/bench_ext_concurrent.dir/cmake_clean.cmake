@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_concurrent.dir/bench_ext_concurrent.cc.o"
+  "CMakeFiles/bench_ext_concurrent.dir/bench_ext_concurrent.cc.o.d"
+  "bench_ext_concurrent"
+  "bench_ext_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_superpages.dir/bench_ext_superpages.cc.o"
+  "CMakeFiles/bench_ext_superpages.dir/bench_ext_superpages.cc.o.d"
+  "bench_ext_superpages"
+  "bench_ext_superpages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_superpages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

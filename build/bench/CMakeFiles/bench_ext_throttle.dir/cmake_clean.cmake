@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_throttle.dir/bench_ext_throttle.cc.o"
+  "CMakeFiles/bench_ext_throttle.dir/bench_ext_throttle.cc.o.d"
+  "bench_ext_throttle"
+  "bench_ext_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

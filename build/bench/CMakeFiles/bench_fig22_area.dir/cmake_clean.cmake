@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_area.dir/bench_fig22_area.cc.o"
+  "CMakeFiles/bench_fig22_area.dir/bench_fig22_area.cc.o.d"
+  "bench_fig22_area"
+  "bench_fig22_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_gc.dir/concurrent_gc.cpp.o"
+  "CMakeFiles/concurrent_gc.dir/concurrent_gc.cpp.o.d"
+  "concurrent_gc"
+  "concurrent_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

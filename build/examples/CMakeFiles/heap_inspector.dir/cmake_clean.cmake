@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_inspector.dir/heap_inspector.cpp.o"
+  "CMakeFiles/heap_inspector.dir/heap_inspector.cpp.o.d"
+  "heap_inspector"
+  "heap_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_sweeper.cc" "src/core/CMakeFiles/hwgc_core.dir/block_sweeper.cc.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/block_sweeper.cc.o.d"
+  "/root/repo/src/core/hwgc_device.cc" "src/core/CMakeFiles/hwgc_core.dir/hwgc_device.cc.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/hwgc_device.cc.o.d"
+  "/root/repo/src/core/mark_queue.cc" "src/core/CMakeFiles/hwgc_core.dir/mark_queue.cc.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/mark_queue.cc.o.d"
+  "/root/repo/src/core/marker.cc" "src/core/CMakeFiles/hwgc_core.dir/marker.cc.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/marker.cc.o.d"
+  "/root/repo/src/core/reclamation_unit.cc" "src/core/CMakeFiles/hwgc_core.dir/reclamation_unit.cc.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/reclamation_unit.cc.o.d"
+  "/root/repo/src/core/root_reader.cc" "src/core/CMakeFiles/hwgc_core.dir/root_reader.cc.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/root_reader.cc.o.d"
+  "/root/repo/src/core/tracer.cc" "src/core/CMakeFiles/hwgc_core.dir/tracer.cc.o" "gcc" "src/core/CMakeFiles/hwgc_core.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/hwgc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hwgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hwgc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_core.dir/block_sweeper.cc.o"
+  "CMakeFiles/hwgc_core.dir/block_sweeper.cc.o.d"
+  "CMakeFiles/hwgc_core.dir/hwgc_device.cc.o"
+  "CMakeFiles/hwgc_core.dir/hwgc_device.cc.o.d"
+  "CMakeFiles/hwgc_core.dir/mark_queue.cc.o"
+  "CMakeFiles/hwgc_core.dir/mark_queue.cc.o.d"
+  "CMakeFiles/hwgc_core.dir/marker.cc.o"
+  "CMakeFiles/hwgc_core.dir/marker.cc.o.d"
+  "CMakeFiles/hwgc_core.dir/reclamation_unit.cc.o"
+  "CMakeFiles/hwgc_core.dir/reclamation_unit.cc.o.d"
+  "CMakeFiles/hwgc_core.dir/root_reader.cc.o"
+  "CMakeFiles/hwgc_core.dir/root_reader.cc.o.d"
+  "CMakeFiles/hwgc_core.dir/tracer.cc.o"
+  "CMakeFiles/hwgc_core.dir/tracer.cc.o.d"
+  "libhwgc_core.a"
+  "libhwgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

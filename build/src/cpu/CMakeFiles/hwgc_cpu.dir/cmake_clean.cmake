@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_cpu.dir/core_model.cc.o"
+  "CMakeFiles/hwgc_cpu.dir/core_model.cc.o.d"
+  "libhwgc_cpu.a"
+  "libhwgc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_driver.dir/concurrent.cc.o"
+  "CMakeFiles/hwgc_driver.dir/concurrent.cc.o.d"
+  "CMakeFiles/hwgc_driver.dir/gc_lab.cc.o"
+  "CMakeFiles/hwgc_driver.dir/gc_lab.cc.o.d"
+  "libhwgc_driver.a"
+  "libhwgc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/sw_collector.cc" "src/gc/CMakeFiles/hwgc_gc.dir/sw_collector.cc.o" "gcc" "src/gc/CMakeFiles/hwgc_gc.dir/sw_collector.cc.o.d"
+  "/root/repo/src/gc/verifier.cc" "src/gc/CMakeFiles/hwgc_gc.dir/verifier.cc.o" "gcc" "src/gc/CMakeFiles/hwgc_gc.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hwgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hwgc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hwgc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hwgc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_gc.dir/sw_collector.cc.o"
+  "CMakeFiles/hwgc_gc.dir/sw_collector.cc.o.d"
+  "CMakeFiles/hwgc_gc.dir/verifier.cc.o"
+  "CMakeFiles/hwgc_gc.dir/verifier.cc.o.d"
+  "libhwgc_gc.a"
+  "libhwgc_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

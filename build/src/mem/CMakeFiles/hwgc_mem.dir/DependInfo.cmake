@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/atomic_cache.cc" "src/mem/CMakeFiles/hwgc_mem.dir/atomic_cache.cc.o" "gcc" "src/mem/CMakeFiles/hwgc_mem.dir/atomic_cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/hwgc_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/hwgc_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/ideal_mem.cc" "src/mem/CMakeFiles/hwgc_mem.dir/ideal_mem.cc.o" "gcc" "src/mem/CMakeFiles/hwgc_mem.dir/ideal_mem.cc.o.d"
+  "/root/repo/src/mem/interconnect.cc" "src/mem/CMakeFiles/hwgc_mem.dir/interconnect.cc.o" "gcc" "src/mem/CMakeFiles/hwgc_mem.dir/interconnect.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/hwgc_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/hwgc_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/mem/CMakeFiles/hwgc_mem.dir/phys_mem.cc.o" "gcc" "src/mem/CMakeFiles/hwgc_mem.dir/phys_mem.cc.o.d"
+  "/root/repo/src/mem/ptw.cc" "src/mem/CMakeFiles/hwgc_mem.dir/ptw.cc.o" "gcc" "src/mem/CMakeFiles/hwgc_mem.dir/ptw.cc.o.d"
+  "/root/repo/src/mem/timed_cache.cc" "src/mem/CMakeFiles/hwgc_mem.dir/timed_cache.cc.o" "gcc" "src/mem/CMakeFiles/hwgc_mem.dir/timed_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hwgc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

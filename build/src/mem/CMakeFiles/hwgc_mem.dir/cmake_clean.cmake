@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_mem.dir/atomic_cache.cc.o"
+  "CMakeFiles/hwgc_mem.dir/atomic_cache.cc.o.d"
+  "CMakeFiles/hwgc_mem.dir/dram.cc.o"
+  "CMakeFiles/hwgc_mem.dir/dram.cc.o.d"
+  "CMakeFiles/hwgc_mem.dir/ideal_mem.cc.o"
+  "CMakeFiles/hwgc_mem.dir/ideal_mem.cc.o.d"
+  "CMakeFiles/hwgc_mem.dir/interconnect.cc.o"
+  "CMakeFiles/hwgc_mem.dir/interconnect.cc.o.d"
+  "CMakeFiles/hwgc_mem.dir/page_table.cc.o"
+  "CMakeFiles/hwgc_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/hwgc_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/hwgc_mem.dir/phys_mem.cc.o.d"
+  "CMakeFiles/hwgc_mem.dir/ptw.cc.o"
+  "CMakeFiles/hwgc_mem.dir/ptw.cc.o.d"
+  "CMakeFiles/hwgc_mem.dir/timed_cache.cc.o"
+  "CMakeFiles/hwgc_mem.dir/timed_cache.cc.o.d"
+  "libhwgc_mem.a"
+  "libhwgc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

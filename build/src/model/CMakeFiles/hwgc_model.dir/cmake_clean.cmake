@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_model.dir/area.cc.o"
+  "CMakeFiles/hwgc_model.dir/area.cc.o.d"
+  "CMakeFiles/hwgc_model.dir/power.cc.o"
+  "CMakeFiles/hwgc_model.dir/power.cc.o.d"
+  "libhwgc_model.a"
+  "libhwgc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hwgc_model.
+# This may be replaced when dependencies are built.

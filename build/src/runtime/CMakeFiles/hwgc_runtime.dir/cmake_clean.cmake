@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_runtime.dir/heap.cc.o"
+  "CMakeFiles/hwgc_runtime.dir/heap.cc.o.d"
+  "libhwgc_runtime.a"
+  "libhwgc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_sim.dir/logging.cc.o"
+  "CMakeFiles/hwgc_sim.dir/logging.cc.o.d"
+  "CMakeFiles/hwgc_sim.dir/stats.cc.o"
+  "CMakeFiles/hwgc_sim.dir/stats.cc.o.d"
+  "libhwgc_sim.a"
+  "libhwgc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

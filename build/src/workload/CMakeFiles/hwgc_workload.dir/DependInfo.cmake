@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dacapo.cc" "src/workload/CMakeFiles/hwgc_workload.dir/dacapo.cc.o" "gcc" "src/workload/CMakeFiles/hwgc_workload.dir/dacapo.cc.o.d"
+  "/root/repo/src/workload/graph_gen.cc" "src/workload/CMakeFiles/hwgc_workload.dir/graph_gen.cc.o" "gcc" "src/workload/CMakeFiles/hwgc_workload.dir/graph_gen.cc.o.d"
+  "/root/repo/src/workload/latency.cc" "src/workload/CMakeFiles/hwgc_workload.dir/latency.cc.o" "gcc" "src/workload/CMakeFiles/hwgc_workload.dir/latency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hwgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hwgc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hwgc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgc_workload.dir/dacapo.cc.o"
+  "CMakeFiles/hwgc_workload.dir/dacapo.cc.o.d"
+  "CMakeFiles/hwgc_workload.dir/graph_gen.cc.o"
+  "CMakeFiles/hwgc_workload.dir/graph_gen.cc.o.d"
+  "CMakeFiles/hwgc_workload.dir/latency.cc.o"
+  "CMakeFiles/hwgc_workload.dir/latency.cc.o.d"
+  "libhwgc_workload.a"
+  "libhwgc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/test_edge_cases.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/test_edge_cases.dir/test_edge_cases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/hwgc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/hwgc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/hwgc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/hwgc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hwgc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hwgc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hwgc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hwgc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hwgc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwgc.dir/test_hwgc.cc.o"
+  "CMakeFiles/test_hwgc.dir/test_hwgc.cc.o.d"
+  "test_hwgc"
+  "test_hwgc.pdb"
+  "test_hwgc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lab.dir/test_lab.cc.o"
+  "CMakeFiles/test_lab.dir/test_lab.cc.o.d"
+  "test_lab"
+  "test_lab.pdb"
+  "test_lab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mark_queue.dir/test_mark_queue.cc.o"
+  "CMakeFiles/test_mark_queue.dir/test_mark_queue.cc.o.d"
+  "test_mark_queue"
+  "test_mark_queue.pdb"
+  "test_mark_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mark_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_superpages.dir/test_superpages.cc.o"
+  "CMakeFiles/test_superpages.dir/test_superpages.cc.o.d"
+  "test_superpages"
+  "test_superpages.pdb"
+  "test_superpages[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_superpages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

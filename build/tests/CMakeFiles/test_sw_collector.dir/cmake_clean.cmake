@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sw_collector.dir/test_sw_collector.cc.o"
+  "CMakeFiles/test_sw_collector.dir/test_sw_collector.cc.o.d"
+  "test_sw_collector"
+  "test_sw_collector.pdb"
+  "test_sw_collector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sw_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unit_components.dir/test_unit_components.cc.o"
+  "CMakeFiles/test_unit_components.dir/test_unit_components.cc.o.d"
+  "test_unit_components"
+  "test_unit_components.pdb"
+  "test_unit_components[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unit_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
