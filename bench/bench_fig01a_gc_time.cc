@@ -22,6 +22,8 @@ main()
 
     std::printf("  %-10s %10s %12s %10s\n", "benchmark", "pauses",
                 "avg pause", "GC share");
+    bench::HostTimer timer;
+    double total_sim_cycles = 0.0;
     for (const auto &profile : workload::dacapoSuite()) {
         driver::LabConfig config;
         config.runHw = false;
@@ -32,6 +34,7 @@ main()
         for (const auto &r : results) {
             gc_ms += bench::msFromCycles(
                 double(r.swMarkCycles + r.swSweepCycles));
+            total_sim_cycles += double(r.swMarkCycles + r.swSweepCycles);
         }
         const double mutator_ms =
             profile.mutatorMsPerGC * double(results.size());
@@ -40,5 +43,7 @@ main()
                     profile.name.c_str(), results.size(),
                     gc_ms / double(results.size()), share * 100.0);
     }
+    bench::printKernelSpeed("fig01a_gc_time", "sw-atomic",
+                            timer.seconds(), total_sim_cycles);
     return 0;
 }

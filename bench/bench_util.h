@@ -8,6 +8,7 @@
 #ifndef HWGC_BENCH_BENCH_UTIL_H
 #define HWGC_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -47,6 +48,44 @@ banner(const char *figure, const char *claim)
     std::printf("%s\n", figure);
     std::printf("  paper: %s\n", claim);
     std::printf("==============================================================\n");
+}
+
+/** Wall-clock stopwatch for host-side simulation-speed reporting. */
+class HostTimer
+{
+  public:
+    HostTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction (or the last restart()). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Emits one JSON line of simulation-speed reporting — host wall-clock
+ * and simulated-cycles-per-host-second (MIPS-style) — so the perf
+ * trajectory (BENCH_*.json) can track kernel speed across PRs.
+ */
+inline void
+printKernelSpeed(const char *bench, const char *kernel,
+                 double host_seconds, double sim_cycles)
+{
+    const double rate =
+        host_seconds > 0.0 ? sim_cycles / host_seconds : 0.0;
+    std::printf("{\"bench\":\"%s\",\"kernel\":\"%s\","
+                "\"host_seconds\":%.6f,\"sim_cycles\":%.0f,"
+                "\"cycles_per_host_second\":%.0f}\n",
+                bench, kernel, host_seconds, sim_cycles, rate);
 }
 
 /** Prints one row of a two-column-per-engine table. */

@@ -40,6 +40,7 @@ BlockSweeper::idle() const
 void
 BlockSweeper::assign(const SweepJob &job)
 {
+    pokeWakeup(); // Assigned work restarts the state machine.
     panic_if(active_, "sweeper double assignment");
     panic_if(job.cellBytes == 0 || job.cellBytes > runtime::blockBytes,
              "bad cell size %u", job.cellBytes);
@@ -59,10 +60,13 @@ BlockSweeper::assign(const SweepJob &job)
 std::optional<Addr>
 BlockSweeper::translate(Addr va)
 {
+    if (walkPending_) {
+        return std::nullopt; // Blocked on the PTW; don't re-probe.
+    }
     if (const auto pa = tlb_.lookup(va)) {
         return *pa;
     }
-    if (!walkPending_ && ptw_.canRequest()) {
+    if (ptw_.canRequest()) {
         walkPending_ = true;
         ptw_.requestWalk(va, [this](bool valid, Addr wva, Addr wpa,
                                     unsigned page_bits) {
@@ -129,6 +133,7 @@ BlockSweeper::writeWord(Addr va, Word value, Tick now)
 void
 BlockSweeper::onResponse(const mem::MemResponse &resp, Tick now)
 {
+    pokeWakeup();
     (void)now;
     if (resp.req.isWrite()) {
         panic_if(writesInFlight_ == 0, "sweeper write ack underflow");
@@ -258,6 +263,22 @@ BlockSweeper::tick(Tick now)
     ++cells_;
     ++cellIndex_;
     step_ = Step::CellStartWord;
+}
+
+Tick
+BlockSweeper::nextWakeup(Tick now) const
+{
+    if (!active_) {
+        return maxTick; // Write acks arrive via onResponse.
+    }
+    if (walkPending_ || lineFillPending_) {
+        // The state machine is strictly sequential: it is blocked on
+        // this walk/fill and every tick until it resolves is a no-op
+        // (modulo line-buffer LRU touches, which cannot change the
+        // victim choice — see DESIGN.md).
+        return maxTick;
+    }
+    return now;
 }
 
 void

@@ -56,6 +56,7 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override { return !drained(); }
+    Tick nextWakeup(Tick now) const override;
 
     void reset();
     void resetStats();

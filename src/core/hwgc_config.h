@@ -17,6 +17,7 @@
 #include "mem/ptw.h"
 #include "mem/timed_cache.h"
 #include "runtime/object_model.h"
+#include "sim/clocked.h"
 #include "sim/types.h"
 
 namespace hwgc::core
@@ -82,6 +83,13 @@ struct HwgcConfig
     mem::IdealMemParams ideal;
     mem::InterconnectParams bus;
     /** @} */
+
+    /**
+     * Simulation kernel driving the device's System. Event mode skips
+     * idle cycles and is cycle-exact with Dense (test_event_kernel
+     * asserts this); Dense remains as the reference for A/B runs.
+     */
+    KernelMode kernel = KernelMode::Event;
 };
 
 } // namespace hwgc::core

@@ -15,6 +15,8 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
                        const HwgcConfig &config)
     : config_(config), mem_(mem), pageTable_(page_table)
 {
+    system_.setMode(config_.kernel);
+
     // Memory side: DRAM (Table I) or the ideal pipe (Fig 17).
     if (config_.memModel == MemModel::Ddr3) {
         auto dram = std::make_unique<mem::Dram>("dram", config_.dram,
@@ -125,6 +127,67 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
     }
     system_.add(bus_.get());
     system_.add(memory_.get());
+
+    // Wakeup-caching contract (event kernel): every component above
+    // pokes itself from its external entry points (sendRequest,
+    // onResponse, enqueue/dequeue, requestWalk, start/extend, assign),
+    // and producers poke the specific consumer a hand-off can unblock
+    // (the bus/cache poke a port's owner when a pop raises canSend,
+    // the mark queue pokes the marker when entries become
+    // dequeueable, the tracer pokes the marker when a trace-queue pop
+    // raises canPush). What remains to declare are the coarse
+    // cross-reads — state a component's nextWakeup() inspects that
+    // another component's *tick* mutates without calling into it:
+    //  - marker and tracer wait on PTW walk callbacks and launch
+    //    slots (ptw.canRequest), and on mark-queue state the queue's
+    //    own spill tick shuffles (canDequeue, throttle).
+    //  - tracer polls the trace queue and markQueue.throttle, which
+    //    the marker's tick feeds and drains.
+    //  - rootReader and the sweepers wait on PTW walk callbacks.
+    //  - reclamation polls sweeper->idle() and PTW walk callbacks.
+    //  - the bus polls memory.canAccept.
+    // markQueue, ptw, the caches and memory read only their own
+    // state, so their entry-point pokes alone keep them fresh.
+    system_.declareWakeupInputs(marker_.get(),
+                                {markQueue_.get(), ptw_.get()});
+    system_.declareWakeupInputs(
+        tracer_.get(), {marker_.get(), markQueue_.get(), ptw_.get()});
+    if (!config_.decoupledTracer) {
+        // Coupled-pipeline ablation: the tracer also polls the
+        // marker's in-flight reads, which drop inside the bus/cache
+        // tick that delivers the marker's response.
+        system_.declareWakeupInputs(
+            tracer_.get(), {static_cast<Clocked *>(bus_.get())});
+        if (config_.sharedCache) {
+            system_.declareWakeupInputs(
+                tracer_.get(),
+                {static_cast<Clocked *>(sharedCache_.get())});
+        }
+    }
+    markQueue_->setConsumer(marker_.get());
+    if (config_.sharedCache) {
+        sharedCache_->setPortOwner(markerPort_, marker_.get());
+    } else {
+        bus_->setClientOwner(
+            static_cast<mem::BusPort *>(markerPort_)->clientId(),
+            marker_.get());
+    }
+    system_.declareWakeupInputs(rootReader_.get(), {ptw_.get()});
+    system_.declareWakeupInputs(reclamation_.get(), {ptw_.get()});
+    for (auto &sweeper : reclamation_->sweepers()) {
+        system_.declareWakeupInputs(sweeper.get(), {ptw_.get()});
+        system_.declareWakeupInputs(reclamation_.get(), {sweeper.get()});
+    }
+    system_.declareWakeupInputs(markQueue_.get(), {});
+    system_.declareWakeupInputs(ptw_.get(), {});
+    if (sharedCache_) {
+        system_.declareWakeupInputs(sharedCache_.get(), {});
+    }
+    if (ptwCache_) {
+        system_.declareWakeupInputs(ptwCache_.get(), {});
+    }
+    system_.declareWakeupInputs(bus_.get(), {memory_.get()});
+    system_.declareWakeupInputs(memory_.get(), {});
 }
 
 void

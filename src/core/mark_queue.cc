@@ -78,6 +78,10 @@ MarkQueue::canEnqueue() const
 void
 MarkQueue::enqueue(Addr ref)
 {
+    pokeWakeup(); // Fill level feeds the spill engine's wakeup.
+    if (consumer_ != nullptr) {
+        pokeWakeup(*consumer_); // canDequeue() may have just risen.
+    }
     panic_if(!canEnqueue(), "mark queue overflow");
     const std::uint64_t qcap = std::uint64_t(config_.markQueueEntries) *
         (config_.compressRefs ? 2 : 1);
@@ -98,6 +102,7 @@ MarkQueue::canDequeue() const
 Addr
 MarkQueue::dequeue()
 {
+    pokeWakeup(); // Draining may enable a refill or bypass copy.
     panic_if(!canDequeue(), "mark queue underflow");
     Word packed;
     if (!q_.empty()) { // Priority to the main queue.
@@ -133,6 +138,7 @@ MarkQueue::depth() const
 void
 MarkQueue::onResponse(const mem::MemResponse &resp, Tick now)
 {
+    pokeWakeup();
     (void)now;
     if (resp.req.isWrite()) {
         panic_if(!writeInFlight_, "unexpected spill write ack");
@@ -152,6 +158,9 @@ MarkQueue::onResponse(const mem::MemResponse &resp, Tick now)
         inQ_.push_back(entry);
     }
     spillHead_ += granuleEntries();
+    if (consumer_ != nullptr) {
+        pokeWakeup(*consumer_); // The refill made inQ dequeueable.
+    }
 }
 
 void
@@ -230,6 +239,29 @@ MarkQueue::busy() const
     // Any queued entry counts as pending work: the consumer will
     // drain it on a later cycle, so the system must not go idle.
     return !empty();
+}
+
+Tick
+MarkQueue::nextWakeup(Tick now) const
+{
+    // Mirrors the three tick() actions (before their port checks, so
+    // port-full cycles retry densely). Entries sitting in q_/inQ_ are
+    // the *marker's* work, and in-flight spill traffic resolves via
+    // onResponse — neither needs a tick here.
+    const unsigned granule = granuleEntries();
+    if (!writeInFlight_ && outQ_.size() >= granule) {
+        return now; // Spill write attempt.
+    }
+    if (!readInFlight_ && outQ_.size() < granule &&
+        spillTail_ - spillHead_ >= granule &&
+        inQ_.size() + granule <= config_.spillQueueEntries) {
+        return now; // Refill read attempt.
+    }
+    if (spillHead_ == spillTail_ && !readInFlight_ && !outQ_.empty() &&
+        inQ_.size() < config_.spillQueueEntries) {
+        return now; // Bypass copy.
+    }
+    return maxTick;
 }
 
 void

@@ -51,6 +51,14 @@ class MarkQueue : public Clocked, public mem::MemResponder
     /** Enqueues a reference (Q if space, else outQ). */
     void enqueue(Addr ref);
 
+    /**
+     * Registers the dequeuing component (the marker). Its cached
+     * wakeup is poked whenever entries become dequeueable outside the
+     * kernel's view: on enqueue() (called from the producers' ticks)
+     * and when a spill read refills inQ (a response callback).
+     */
+    void setConsumer(const Clocked *consumer) { consumer_ = consumer; }
+
     /** True if a reference is available (Q, then inQ). */
     bool canDequeue() const;
 
@@ -72,6 +80,7 @@ class MarkQueue : public Clocked, public mem::MemResponder
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override;
+    Tick nextWakeup(Tick now) const override;
 
     /** Drops all state between GC phases. */
     void reset();
@@ -100,6 +109,7 @@ class MarkQueue : public Clocked, public mem::MemResponder
 
     HwgcConfig config_;
     mem::MemPort *port_;
+    const Clocked *consumer_ = nullptr;
     Addr spillBase_;
     std::uint64_t spillCapacityEntries_;
 

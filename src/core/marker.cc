@@ -22,6 +22,7 @@ Marker::Marker(std::string name, const HwgcConfig &config,
       slots_(config.markerSlots),
       waiters_(std::max(1u, config.markerWalkWaiters))
 {
+    hasFastForward_ = true; // Accrues tlbMissStalls over skipped spans.
     panic_if(port_ == nullptr, "marker needs a memory port");
     panic_if(config_.markerSlots == 0, "marker needs request slots");
 }
@@ -54,6 +55,7 @@ Marker::findFreeSlot() const
 void
 Marker::onResponse(const mem::MemResponse &resp, Tick now)
 {
+    pokeWakeup();
     (void)now;
     if (resp.req.isWrite()) {
         return; // Write-back ack; the slot was already released.
@@ -237,6 +239,81 @@ Marker::tick(Tick now)
     }
 
     issue(now);
+}
+
+Tick
+Marker::nextWakeup(Tick now) const
+{
+    // Every issue path needs the memory port; probe it once. While it
+    // is full, retry ticks are no-ops: the port drains inside a
+    // bus/cache tick and every executed cycle re-polls all wakeups.
+    mem::MemRequest probe;
+    probe.size = wordBytes;
+    const bool can_send = port_->canSend(probe);
+
+    for (const auto &slot : slots_) {
+        if (slot.state != SlotState::Finish) {
+            continue;
+        }
+        if (slot.needWriteback) {
+            if (can_send) {
+                return now; // Write-back can retire.
+            }
+            continue; // Blocked on the port.
+        }
+        if (!slot.needTracePush || traceQueue_.canPush()) {
+            return now; // Trace push (or plain free) can retire.
+        }
+        // Otherwise blocked on trace-queue space (a tracer tick pops).
+    }
+    const bool slot_free = findFreeSlot() >= 0;
+    for (const auto &waiter : waiters_) {
+        if (!waiter.valid) {
+            continue;
+        }
+        if (waiter.ready) {
+            if (slot_free && can_send) {
+                return now; // Parked reference can issue.
+            }
+            continue; // Blocked on a slot or the port.
+        }
+        if (!waiter.walkRequested && ptw_.canRequest()) {
+            return now; // A walk can be launched.
+        }
+    }
+    if (markQueue_.canDequeue() && waitersActive_ < waiters_.size() &&
+        slot_free && can_send) {
+        // Note this fires even when the marker itself is idle: the
+        // mark queue's entries are pulled from here. The waiters-full
+        // TLB stall is *not* a wakeup — tlbMissStalls accrues in
+        // fastForward() and the unblocking walk callback runs inside
+        // a PTW tick, which re-polls every component.
+        return now;
+    }
+    // Remaining states (reads in flight, walks pending, stalls on the
+    // port / slots / waiter station / trace queue) progress only
+    // through other components' ticks or response callbacks.
+    return maxTick;
+}
+
+void
+Marker::fastForward(Tick from, Tick to)
+{
+    // The dense kernel counts one TLB-miss stall per cycle the marker
+    // spends with dequeueable work but a full walk-waiter station.
+    // That state is frozen across cycles the kernel skips us (only
+    // ticks mutate it), so the skipped span accrues in one step —
+    // unless a ready waiter is parked: dense ticks stop at the ready
+    // waiter before the stall check and count nothing.
+    if (!markQueue_.canDequeue() || waitersActive_ < waiters_.size()) {
+        return;
+    }
+    for (const auto &waiter : waiters_) {
+        if (waiter.valid && waiter.ready) {
+            return;
+        }
+    }
+    tlbMissStalls_ += to - from;
 }
 
 void

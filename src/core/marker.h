@@ -98,6 +98,8 @@ class Marker : public Clocked, public mem::MemResponder
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override { return !idle(); }
+    Tick nextWakeup(Tick now) const override;
+    void fastForward(Tick from, Tick to) override;
 
     /** In-flight mark reads (for the coupled-tracer ablation). */
     unsigned inFlight() const { return inFlightReads_; }

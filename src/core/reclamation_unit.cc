@@ -60,6 +60,7 @@ ReclamationUnit::done() const
 void
 ReclamationUnit::onResponse(const mem::MemResponse &resp, Tick now)
 {
+    pokeWakeup();
     (void)now;
     panic_if(!entryReadPending_, "unexpected block-entry response");
     entryReadPending_ = false;
@@ -90,12 +91,15 @@ ReclamationUnit::tick(Tick now)
     if (entryReadPending_ || nextBlock_ >= blockCount_) {
         return;
     }
+    if (walkPending_) {
+        return; // Blocked on the PTW; don't re-probe the TLB.
+    }
 
     // Fetch the next 32-byte block-table entry.
     const Addr entry_va = BlockTableEntry::addr(tableVa_, nextBlock_);
     std::optional<Addr> pa = readerTlb_.lookup(entry_va);
     if (!pa) {
-        if (!walkPending_ && ptw_.canRequest()) {
+        if (ptw_.canRequest()) {
             walkPending_ = true;
             ptw_.requestWalk(entry_va,
                              [this](bool valid, Addr va, Addr wpa,
@@ -118,6 +122,28 @@ ReclamationUnit::tick(Tick now)
     }
     readerPort_->send(req, now);
     entryReadPending_ = true;
+}
+
+Tick
+ReclamationUnit::nextWakeup(Tick now) const
+{
+    if (entryReady_) {
+        for (const auto &sweeper : sweepers_) {
+            if (sweeper->idle()) {
+                return now; // Dispatch possible.
+            }
+        }
+        // All sweepers busy; one going idle happens inside its tick,
+        // after which the kernel re-polls us.
+        return maxTick;
+    }
+    if (entryReadPending_) {
+        return maxTick; // Entry read resolves via onResponse.
+    }
+    if (nextBlock_ < blockCount_) {
+        return walkPending_ ? maxTick : now;
+    }
+    return maxTick; // Draining sweepers only.
 }
 
 std::uint64_t

@@ -44,6 +44,7 @@ class ReclamationUnit : public Clocked, public mem::MemResponder
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override { return !done(); }
+    Tick nextWakeup(Tick now) const override;
 
     /** The sweepers (registered separately with the System). */
     std::vector<std::unique_ptr<BlockSweeper>> &sweepers()

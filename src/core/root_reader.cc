@@ -22,6 +22,7 @@ RootReader::RootReader(std::string name, const HwgcConfig &config,
 void
 RootReader::start(Addr base_va, std::uint64_t count)
 {
+    pokeWakeup(); // External MMIO-style kick.
     panic_if(!done(), "root reader restarted while active");
     panic_if(base_va % lineBytes != 0,
              "hwgc-space must be line aligned");
@@ -33,6 +34,7 @@ RootReader::start(Addr base_va, std::uint64_t count)
 void
 RootReader::extend(std::uint64_t count)
 {
+    pokeWakeup(); // May reopen a finished cursor.
     panic_if(base_ == 0 && end_ == 0, "extend before start");
     const Addr new_end = base_ + count * wordBytes;
     panic_if(new_end < end_, "root region cannot shrink");
@@ -48,6 +50,7 @@ RootReader::done() const
 void
 RootReader::onResponse(const mem::MemResponse &resp, Tick now)
 {
+    pokeWakeup();
     (void)now;
     panic_if(inFlight_ == 0, "root reader in-flight underflow");
     --inFlight_;
@@ -73,11 +76,14 @@ RootReader::tick(Tick now)
     if (cursor_ >= end_ || pending_.size() >= 64) {
         return;
     }
+    if (walkPending_) {
+        return; // Blocked on the PTW; don't re-probe the TLB.
+    }
 
     // Translate the current page (blocking, via the shared PTW).
     std::optional<Addr> pa = tlb_.lookup(cursor_);
     if (!pa) {
-        if (!walkPending_ && ptw_.canRequest()) {
+        if (ptw_.canRequest()) {
             walkPending_ = true;
             ptw_.requestWalk(cursor_,
                              [this](bool valid, Addr va, Addr wpa,
@@ -103,6 +109,19 @@ RootReader::tick(Tick now)
     port_->send(req, now);
     ++inFlight_;
     cursor_ += size;
+}
+
+Tick
+RootReader::nextWakeup(Tick now) const
+{
+    if (!pending_.empty()) {
+        return now; // Feed attempt every cycle.
+    }
+    if (cursor_ < end_) {
+        // pending_ is empty here, so the 64-entry gate is open.
+        return walkPending_ ? maxTick : now;
+    }
+    return maxTick; // Only in-flight reads remain (onResponse).
 }
 
 void

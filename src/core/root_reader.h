@@ -48,6 +48,7 @@ class RootReader : public Clocked, public mem::MemResponder
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override { return !done(); }
+    Tick nextWakeup(Tick now) const override;
 
     void reset();
 

@@ -19,6 +19,7 @@ Tracer::Tracer(std::string name, const HwgcConfig &config,
       markQueue_(mark_queue), port_(port), ptw_(ptw),
       tlb_(this->name() + ".tlb", config.unitTlbEntries)
 {
+    hasFastForward_ = true; // Accrues throttledCycles over skipped spans.
     panic_if(port_ == nullptr, "tracer needs a memory port");
 }
 
@@ -47,10 +48,16 @@ Tracer::translate(Addr va)
     if (walkDone_ && walkVa_ == alignDown(va, pageBytes)) {
         return walkPa_ + (va % pageBytes);
     }
+    if (walkPending_) {
+        // Blocked on the PTW: don't re-probe the TLB every cycle (the
+        // probe updates hit/miss stats and LRU state, which must look
+        // the same whether or not the kernel skips blocked cycles).
+        return std::nullopt;
+    }
     if (const auto pa = tlb_.lookup(va)) {
         return *pa;
     }
-    if (!walkPending_ && ptw_.canRequest()) {
+    if (ptw_.canRequest()) {
         walkPending_ = true;
         walkDone_ = false;
         ptw_.requestWalk(va, [this](bool valid, Addr wva, Addr wpa,
@@ -90,6 +97,7 @@ Tracer::mayIssue() const
 void
 Tracer::onResponse(const mem::MemResponse &resp, Tick now)
 {
+    pokeWakeup();
     (void)now;
     panic_if(inFlight_ == 0, "tracer in-flight underflow");
     --inFlight_;
@@ -139,6 +147,9 @@ Tracer::drainPendingRefs()
 void
 Tracer::issue(Tick now)
 {
+    if (!active_ && traceQueue_.empty()) {
+        return; // Nothing to trace; idle cycles are not throttle stalls.
+    }
     if (!mayIssue()) {
         ++throttled_;
         return;
@@ -146,10 +157,13 @@ Tracer::issue(Tick now)
 
     // Pop the next object when idle.
     if (!active_) {
-        if (traceQueue_.empty()) {
-            return;
-        }
         const TraceEntry entry = traceQueue_.pop();
+        if (marker_ != nullptr) {
+            // The freed trace-queue slot may unblock a marker Finish
+            // slot waiting on canPush(); the queue itself is unclocked
+            // so the kernel cannot see this hand-off.
+            pokeWakeup(*marker_);
+        }
         Active a;
         a.ref = entry.ref;
         a.numRefs = entry.numRefs;
@@ -309,6 +323,44 @@ Tracer::tick(Tick now)
 {
     drainPendingRefs();
     issue(now);
+}
+
+Tick
+Tracer::nextWakeup(Tick now) const
+{
+    if (!pendingRefs_.empty()) {
+        return now; // Drain attempt every cycle.
+    }
+    if (active_ || !traceQueue_.empty()) {
+        if (!mayIssue()) {
+            // Throttled: every blocking input (mark-queue fill, tag
+            // slots, the coupled marker's reads) changes only inside
+            // another component's tick or callback, and every
+            // executed cycle re-polls all wakeups. throttledCycles
+            // accrues in fastForward().
+            return maxTick;
+        }
+        if (walkPending_) {
+            return maxTick; // Blocked on the PTW callback.
+        }
+        if (active_ && (active_->awaitTibPtr || active_->awaitTibMeta)) {
+            return maxTick; // Dependent TIB load in flight.
+        }
+        return now;
+    }
+    return maxTick; // At most in-flight reads remain (onResponse).
+}
+
+void
+Tracer::fastForward(Tick from, Tick to)
+{
+    // The dense kernel counts one throttle stall per cycle the tracer
+    // has work but mayIssue() is false. That state is frozen across
+    // skipped cycles (only ticks mutate it; pendingRefs_ is empty or
+    // we would have been due), so the span accrues in one step.
+    if ((active_ || !traceQueue_.empty()) && !mayIssue()) {
+        throttled_ += to - from;
+    }
 }
 
 void

@@ -54,6 +54,8 @@ class Tracer : public Clocked, public mem::MemResponder
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override { return !idle(); }
+    Tick nextWakeup(Tick now) const override;
+    void fastForward(Tick from, Tick to) override;
 
     void reset();
     void resetStats();

@@ -43,6 +43,7 @@ Dram::canAccept(const MemRequest &req) const
 void
 Dram::sendRequest(const MemRequest &req, Tick now)
 {
+    pokeWakeup(); // The new entry changes the earliest issue time.
     panic_if(!canAccept(req), "DRAM overflow: in-flight limit exceeded");
     if (req.isWrite()) {
         ++writesInFlight_;
@@ -195,6 +196,34 @@ bool
 Dram::busy() const
 {
     return !queue_.empty() || !completions_.empty();
+}
+
+Tick
+Dram::nextWakeup(Tick) const
+{
+    Tick next = completions_.empty() ? maxTick : completions_.top().at;
+    if (params_.scheduler == DramParams::Scheduler::Fifo) {
+        // Only the front unissued entry can issue; it waits solely on
+        // its arrival time (serviceAccess absorbs bank readiness).
+        for (const auto &p : queue_) {
+            if (!p.issued) {
+                next = std::min(next, p.arrived);
+                break;
+            }
+        }
+        return next;
+    }
+    // FR-FCFS: an entry becomes issuable once it has arrived and its
+    // bank can take a column command.
+    for (const auto &p : queue_) {
+        if (p.issued) {
+            continue;
+        }
+        next = std::min(
+            next,
+            std::max(p.arrived, banks_[bankIndex(p.req.paddr)].readyAt));
+    }
+    return next;
 }
 
 Tick

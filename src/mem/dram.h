@@ -76,6 +76,7 @@ class Dram : public MemDevice
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override;
+    Tick nextWakeup(Tick now) const override;
 
     /** Resets bank/row-buffer state (between experiment phases). */
     void resetBankState();

@@ -39,6 +39,7 @@ IdealMem::serviceAccess(const MemRequest &req, Tick now)
 void
 IdealMem::sendRequest(const MemRequest &req, Tick now)
 {
+    pokeWakeup();
     panic_if(!canAccept(req), "IdealMem overflow");
     ++inFlight_;
     completions_.push({serviceAccess(req, now), req});

@@ -55,6 +55,12 @@ class IdealMem : public MemDevice
     void tick(Tick now) override;
     bool busy() const override;
 
+    Tick
+    nextWakeup(Tick) const override
+    {
+        return completions_.empty() ? maxTick : completions_.top().at;
+    }
+
     /** @name Statistics @{ */
     const stats::Scalar &numRequests() const { return numRequests_; }
     const stats::Scalar &bytesMoved() const { return bytesMoved_; }

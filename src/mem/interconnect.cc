@@ -15,6 +15,7 @@ Interconnect::Interconnect(std::string name,
                            MemDevice &downstream)
     : Clocked(std::move(name)), params_(params), downstream_(downstream)
 {
+    hasFastForward_ = true; // Per-elapsed-cycle counter and tokens.
     downstream_.setResponder(this);
 }
 
@@ -35,6 +36,13 @@ Interconnect::setClientResponder(unsigned client, MemResponder *responder)
     ports_[client].responder = responder;
 }
 
+void
+Interconnect::setClientOwner(unsigned client, const Clocked *owner)
+{
+    panic_if(client >= ports_.size(), "unknown client %u", client);
+    ports_[client].owner = owner;
+}
+
 bool
 Interconnect::canAccept(unsigned client) const
 {
@@ -45,6 +53,7 @@ Interconnect::canAccept(unsigned client) const
 void
 Interconnect::sendRequest(const MemRequest &req, Tick now)
 {
+    pokeWakeup(); // A queued request is granted on a later cycle.
     panic_if(req.client >= ports_.size(), "unknown client %u",
              req.client);
     panic_if(!canAccept(req.client), "client %u queue overflow",
@@ -61,6 +70,7 @@ Interconnect::sendRequest(const MemRequest &req, Tick now)
 void
 Interconnect::onResponse(const MemResponse &resp, Tick now)
 {
+    pokeWakeup();
     pendingResponses_.push_back({resp, now + params_.responseLatency});
 }
 
@@ -107,6 +117,9 @@ Interconnect::tick(Tick now)
         }
         downstream_.sendRequest(req, now);
         port.requests.pop_front();
+        if (port.owner != nullptr) {
+            pokeWakeup(*port.owner); // canAccept() just rose.
+        }
         ++granted;
         moved = true;
         rrNext_ = (idx + 1) % n;
@@ -126,6 +139,57 @@ Interconnect::tick(Tick now)
 
     if (moved) {
         ++busBusy_;
+    }
+}
+
+Tick
+Interconnect::nextWakeup(Tick now) const
+{
+    const bool throttling = params_.throttleBytesPerCycle > 0.0;
+    if (throttling && throttleTokens_ < 4.0 * double(lineBytes)) {
+        // Token accrual must replay cycle by cycle until the bucket
+        // saturates at its cap, or the floating-point sum would not
+        // stay bit-identical to the dense kernel's.
+        return now;
+    }
+    Tick next = maxTick;
+    if (!pendingResponses_.empty()) {
+        next = std::min(next, pendingResponses_.front().readyAt);
+    }
+    for (const auto &port : ports_) {
+        if (port.requests.empty()) {
+            continue;
+        }
+        if (throttling) {
+            return now; // Grants spend tokens every cycle.
+        }
+        const auto &front = port.requests.front();
+        if (front.readyAt > now) {
+            next = std::min(next, front.readyAt);
+        } else if (downstream_.canAccept(front.req)) {
+            return now;
+        }
+        // A ready head the downstream cannot accept is blocked: only
+        // a downstream tick can free the in-flight slot it needs, and
+        // the kernel re-polls all wakeups after every executed cycle,
+        // so the blocked port contributes no wakeup of its own.
+    }
+    return next;
+}
+
+void
+Interconnect::fastForward(Tick from, Tick to)
+{
+    // Cycles elapse (and throttle tokens accrue) even on cycles the
+    // kernel did not tick us; nextWakeup() guarantees the bucket is
+    // already at its cap whenever that happens, so the clamped
+    // accrual below is exact.
+    cycles_ += to - from;
+    if (params_.throttleBytesPerCycle > 0.0) {
+        throttleTokens_ = std::min(
+            throttleTokens_ +
+                double(to - from) * params_.throttleBytesPerCycle,
+            4.0 * double(lineBytes));
     }
 }
 

@@ -59,6 +59,13 @@ class Interconnect : public Clocked, public MemResponder
     /** Rewires a client's responder (breaks construction cycles). */
     void setClientResponder(unsigned client, MemResponder *responder);
 
+    /**
+     * Registers the component whose nextWakeup() polls this client's
+     * canAccept(); its cached wakeup is poked when a grant frees a
+     * slot in the client's queue (the only event that raises it).
+     */
+    void setClientOwner(unsigned client, const Clocked *owner);
+
     /** True if client @p client can enqueue one more request. */
     bool canAccept(unsigned client) const;
 
@@ -71,6 +78,8 @@ class Interconnect : public Clocked, public MemResponder
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override;
+    Tick nextWakeup(Tick now) const override;
+    void fastForward(Tick from, Tick to) override;
 
     void resetStats();
 
@@ -103,6 +112,7 @@ class Interconnect : public Clocked, public MemResponder
     struct Port
     {
         MemResponder *responder = nullptr;
+        const Clocked *owner = nullptr;
         std::string label;
         std::deque<TimedReq> requests;
         std::uint64_t numRequests = 0;

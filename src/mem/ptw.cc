@@ -19,6 +19,7 @@ Ptw::Ptw(std::string name, const PtwParams &params,
 void
 Ptw::requestWalk(Addr va, WalkCallback cb)
 {
+    pokeWakeup(); // A queued walk can start on the next cycle.
     panic_if(!canRequest(), "PTW queue overflow");
     queue_.push_back({va, std::move(cb)});
 }
@@ -53,6 +54,7 @@ Ptw::finishWalk(bool valid, Addr pa, unsigned page_bits, Tick now)
 void
 Ptw::onResponse(const MemResponse &resp, Tick now)
 {
+    pokeWakeup();
     panic_if(!walking_ || !awaitingResponse_,
              "PTW response without a walk in progress");
     panic_if(resp.req.tag != level_, "PTW response level mismatch");
@@ -108,6 +110,25 @@ bool
 Ptw::busy() const
 {
     return walking_ || !queue_.empty() || !pendingCallbacks_.empty();
+}
+
+Tick
+Ptw::nextWakeup(Tick now) const
+{
+    Tick next = maxTick;
+    if (!pendingCallbacks_.empty()) {
+        next = pendingCallbacks_.front().readyAt;
+    }
+    if (walking_) {
+        if (!awaitingResponse_ && level_ < walkPlan_.levels) {
+            return now; // Port-full retry of the current level.
+        }
+        return next; // Waiting on a PTE fetch response.
+    }
+    if (!queue_.empty()) {
+        return now; // A new walk can start.
+    }
+    return next;
 }
 
 void

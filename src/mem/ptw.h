@@ -68,6 +68,7 @@ class Ptw : public Clocked, public MemResponder
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override;
+    Tick nextWakeup(Tick now) const override;
 
     /** The shared second-level TLB (flush between phases). */
     TlbArray &l2Tlb() { return l2Tlb_; }

@@ -38,6 +38,7 @@ struct TimedCache::UpstreamPort : public MemPort
         panic_if(!validTransfer(req.paddr, req.size),
                  "cache port '%s': invalid transfer", label_.c_str());
         (void)now;
+        owner_.pokeWakeup(); // A queued request needs a service tick.
         queue.push_back(req);
         ++numRequests;
     }
@@ -45,6 +46,7 @@ struct TimedCache::UpstreamPort : public MemPort
     TimedCache &owner_;
     unsigned index_;
     MemResponder *responder_;
+    const Clocked *wakeOwner_ = nullptr;
     std::string label_;
     std::deque<MemRequest> queue;
     std::uint64_t numRequests = 0;
@@ -83,6 +85,18 @@ TimedCache::setPortResponder(MemPort *port, MemResponder *responder)
 }
 
 void
+TimedCache::setPortOwner(MemPort *port, const Clocked *owner)
+{
+    for (auto &p : ports_) {
+        if (p.get() == port) {
+            p->wakeOwner_ = owner;
+            return;
+        }
+    }
+    panic("setPortOwner: unknown port");
+}
+
+void
 TimedCache::complete(const MemRequest &req, unsigned port, Tick now)
 {
     MemResponse resp;
@@ -107,6 +121,7 @@ TimedCache::installLine(Addr line_addr)
 void
 TimedCache::onResponse(const MemResponse &resp, Tick now)
 {
+    pokeWakeup();
     if (resp.req.tag == writebackTag) {
         panic_if(outstandingWritebacks_ == 0, "writeback underflow");
         --outstandingWritebacks_;
@@ -173,6 +188,9 @@ TimedCache::tick(Tick now)
             }
             complete(req, idx, now);
             port.queue.pop_front();
+            if (port.wakeOwner_ != nullptr) {
+                pokeWakeup(*port.wakeOwner_); // canSend() just rose.
+            }
             rrNext_ = (idx + 1) % n;
             break;
         }
@@ -192,6 +210,9 @@ TimedCache::tick(Tick now)
         if (match != nullptr) {
             match->targets.emplace_back(idx, req);
             port.queue.pop_front();
+            if (port.wakeOwner_ != nullptr) {
+                pokeWakeup(*port.wakeOwner_); // canSend() just rose.
+            }
             rrNext_ = (idx + 1) % n;
             break;
         }
@@ -213,9 +234,34 @@ TimedCache::tick(Tick now)
         free_slot->targets.emplace_back(idx, req);
         fillPort_->send(fill, now);
         port.queue.pop_front();
+        if (port.wakeOwner_ != nullptr) {
+            pokeWakeup(*port.wakeOwner_); // canSend() just rose.
+        }
         rrNext_ = (idx + 1) % n;
         break;
     }
+}
+
+Tick
+TimedCache::nextWakeup(Tick now) const
+{
+    // Queued lookups and write-back drains retry every cycle (they
+    // may be stalled on MSHRs or downstream room, which only a tick
+    // can re-check).
+    if (!writebackQueue_.empty()) {
+        return now;
+    }
+    for (const auto &p : ports_) {
+        if (!p->queue.empty()) {
+            return now;
+        }
+    }
+    if (!dueResponses_.empty()) {
+        return dueResponses_.front().readyAt;
+    }
+    // Only in-flight fills/write-backs remain; progress arrives via
+    // onResponse() and is picked up on the following re-poll.
+    return maxTick;
 }
 
 bool

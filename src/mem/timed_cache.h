@@ -61,12 +61,20 @@ class TimedCache : public Clocked, public MemResponder
     /** Rewires an upstream port's responder. */
     void setPortResponder(MemPort *port, MemResponder *responder);
 
+    /**
+     * Registers the component whose nextWakeup() polls this port's
+     * canSend(); its cached wakeup is poked when the lookup stage
+     * pops the port's queue (the only event that raises canSend).
+     */
+    void setPortOwner(MemPort *port, const Clocked *owner);
+
     // MemResponder interface (fill responses from downstream).
     void onResponse(const MemResponse &resp, Tick now) override;
 
     // Clocked interface.
     void tick(Tick now) override;
     bool busy() const override;
+    Tick nextWakeup(Tick now) const override;
 
     void resetStats();
 

@@ -1,18 +1,32 @@
 /**
  * @file
- * The cycle-stepped simulation kernel.
+ * The simulation kernel: clocked components and the System driver.
  *
  * All timing models are Clocked components registered with a System.
- * The System advances one cycle at a time, calling tick() on every
- * component in registration order; a component that has nothing to do
- * reports idle so runUntilIdle() can terminate. One cycle of simulated
- * time is one core clock at 1 GHz (paper Table I).
+ * One cycle of simulated time is one core clock at 1 GHz (paper
+ * Table I). The System runs in one of two kernel modes:
+ *
+ *  - Dense: the reference kernel. Every component is ticked on every
+ *    cycle, exactly like real hardware clocks every flop.
+ *  - Event: the fast kernel. Each component publishes the earliest
+ *    cycle at which its tick() could have an observable effect
+ *    (nextWakeup), the System ticks only the components that are due,
+ *    and when nothing is due it fast-forwards the clock straight to
+ *    the earliest pending wakeup instead of stepping through the gap.
+ *
+ * The two modes are cycle-exact equivalents as long as every
+ * component honours the wakeup contract documented on
+ * Clocked::nextWakeup (see DESIGN.md, "Simulation kernel").
  */
 
 #ifndef HWGC_SIM_CLOCKED_H
 #define HWGC_SIM_CLOCKED_H
 
+#include <algorithm>
+#include <functional>
+#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.h"
@@ -23,9 +37,18 @@ namespace hwgc
 
 class System;
 
+/** Kernel selection for System (see file header). */
+enum class KernelMode
+{
+    Dense, //!< Tick every component every cycle (reference kernel).
+    Event, //!< Tick only due components; fast-forward idle gaps.
+};
+
 /** Base class for anything evaluated once per clock cycle. */
 class Clocked
 {
+    friend class System;
+
   public:
     /** @param name A unique, human-readable instance name. */
     explicit Clocked(std::string name) : name_(std::move(name)) {}
@@ -43,10 +66,81 @@ class Clocked
      */
     virtual bool busy() const = 0;
 
+    /**
+     * Wakeup contract of the event kernel: the earliest cycle >= @p now
+     * at which tick() might have any observable effect — state changes,
+     * calls into other components, or statistics updates. Cycles before
+     * that wakeup may be skipped without ticking this component, so an
+     * implementation must be *conservative*: returning a cycle that
+     * turns out to be a no-op only costs time, but returning one past
+     * the first effective tick diverges from the dense kernel.
+     *
+     * Return @p now (not now + 1) to be ticked on every cycle, and
+     * maxTick when only an external call (onResponse, a new request)
+     * can create work — the System re-polls every component after each
+     * cycle it actually executes, so cross-component pokes are seen.
+     *
+     * The default is safe for any component: tick every cycle while
+     * busy(), never while idle.
+     */
+    virtual Tick
+    nextWakeup(Tick now) const
+    {
+        return busy() ? now : maxTick;
+    }
+
+    /**
+     * Notification that the event kernel let cycles [from, to) elapse
+     * without ticking this component (either a fast-forwarded gap or
+     * a single executed cycle on which this component was not due).
+     * Only components with per-elapsed-cycle accounting (e.g. the
+     * interconnect's cycle counter) need to override this; it must
+     * reproduce exactly what the skipped no-op ticks would have done
+     * and nothing more. An overrider MUST also set hasFastForward_
+     * in its constructor — the kernel skips the virtual call for
+     * everyone else (the A/B equivalence tests catch a forgotten
+     * flag as a stats divergence).
+     */
+    virtual void fastForward(Tick from, Tick to)
+    {
+        (void)from;
+        (void)to;
+    }
+
+    /** Whether fastForward() is overridden and must be called. */
+    bool hasFastForward() const { return hasFastForward_; }
+
     const std::string &name() const { return name_; }
+
+  protected:
+    /**
+     * Marks this component's cached wakeup stale so the event kernel
+     * re-polls nextWakeup() on the next cycle it evaluates (see
+     * System::declareWakeupInputs). A component with declared wakeup
+     * inputs MUST call this from every externally callable method
+     * that mutates wakeup-relevant state — onResponse, queue
+     * enqueues/dequeues, walk callbacks — since those run inside
+     * *other* components' ticks, where the kernel cannot see them.
+     * Harmless (and a no-op) outside a System or in dense mode.
+     */
+    void pokeWakeup();
+
+    /**
+     * Invalidates *another* component's cached wakeup. For producers
+     * that know exactly which consumer a state change can unblock
+     * (e.g. the bus freeing one client's queue slot), this is a
+     * precise alternative to a declareWakeupInputs() edge, which
+     * would re-poll the consumer after *every* tick of the producer.
+     */
+    void pokeWakeup(const Clocked &other);
+
+    /** Set by subclasses that override fastForward() (see above). */
+    bool hasFastForward_ = false;
 
   private:
     std::string name_;
+    System *system_ = nullptr;
+    std::size_t sysIndex_ = 0;
 };
 
 /**
@@ -64,20 +158,99 @@ class System
     add(Clocked *c)
     {
         panic_if(c == nullptr, "System::add(nullptr)");
+        panic_if(components_.size() >= 64,
+                 "System supports at most 64 components");
+        panic_if(c->system_ != nullptr,
+                 "component '%s' already registered", c->name().c_str());
+        c->system_ = this;
+        c->sysIndex_ = components_.size();
         components_.push_back(c);
+        due_.push_back(false);
+        wake_.push_back(maxTick);
+        succ_.push_back(0);
     }
+
+    /**
+     * Opts @p dst into wakeup caching. By default the event kernel
+     * re-polls every component's nextWakeup() on every cycle it
+     * executes, because any tick anywhere might have created work for
+     * it. A component whose wakeup can only drop when (a) one of the
+     * listed @p srcs ticks, or (b) one of its own entry points runs
+     * (which must then call pokeWakeup()), can declare that here: its
+     * cached wakeup is then reused until one of those events — or its
+     * own tick — invalidates it. Transitions that *raise* the wakeup
+     * never need declaring; acting on a stale-low value just costs a
+     * no-op tick or poll, exactly like a conservative nextWakeup().
+     */
+    void
+    declareWakeupInputs(Clocked *dst,
+                        std::initializer_list<Clocked *> srcs)
+    {
+        panic_if(dst == nullptr || dst->system_ != this,
+                 "declareWakeupInputs for unregistered component");
+        declared_ |= std::uint64_t(1) << dst->sysIndex_;
+        for (Clocked *src : srcs) {
+            panic_if(src == nullptr || src->system_ != this,
+                     "wakeup input not registered");
+            succ_[src->sysIndex_] |= std::uint64_t(1) << dst->sysIndex_;
+        }
+    }
+
+    /** Invalidates @p c's cached wakeup (see Clocked::pokeWakeup). */
+    void
+    poke(const Clocked &c)
+    {
+        dirty_ |= std::uint64_t(1) << c.sysIndex_;
+    }
+
+    /** Selects the kernel (callers may switch between runs). */
+    void setMode(KernelMode mode) { mode_ = mode; }
+    KernelMode mode() const { return mode_; }
 
     /** Current simulated time in cycles. */
     Tick now() const { return now_; }
 
-    /** Advances the clock by exactly one cycle. */
+    /**
+     * Cycles the event kernel actually evaluated (vs. fast-forwarded
+     * over). The ratio to now() is the kernel's skip rate.
+     */
+    std::uint64_t executedCycles() const { return executedCycles_; }
+
+    /**
+     * Requests an explicit tick of @p c at cycle @p at, in addition to
+     * whatever its nextWakeup() reports. A wakeup scheduled in the
+     * past or at the current cycle fires on the next cycle the kernel
+     * evaluates — no cycle is lost and nothing is skipped past it.
+     * Only meaningful in Event mode (Dense ticks everything anyway).
+     */
     void
+    schedule(Clocked *c, Tick at)
+    {
+        panic_if(c == nullptr || c->system_ != this,
+                 "schedule() for unregistered component");
+        scheduled_.push({std::max(at, now_), c->sysIndex_});
+    }
+
+    /**
+     * Advances the clock by exactly one cycle, ticking every
+     * component, and reports whether any component is still busy (the
+     * idle scan rides the same call so runUntilIdle() does not pay a
+     * separate per-cycle pre-scan pass).
+     */
+    bool
     step()
     {
         for (auto *c : components_) {
             c->tick(now_);
         }
         ++now_;
+        ++executedCycles_;
+        for (auto *c : components_) {
+            if (c->busy()) {
+                return true;
+            }
+        }
+        return false;
     }
 
     /**
@@ -90,36 +263,213 @@ class System
     bool
     runUntilIdle(Tick max_cycles = 2'000'000'000ULL)
     {
-        const Tick limit = now_ + max_cycles;
-        while (now_ < limit) {
-            bool any_busy = false;
-            for (auto *c : components_) {
-                if (c->busy()) {
-                    any_busy = true;
-                    break;
-                }
-            }
-            if (!any_busy) {
-                return true;
-            }
-            step();
+        const Tick limit = saturatingLimit(max_cycles);
+        if (now_ >= limit) {
+            return false;
         }
-        return false;
+        if (!anyBusy()) {
+            return true;
+        }
+        // Anything may have been reconfigured between runs (phase
+        // starts, resets): every cached wakeup is stale.
+        dirty_ = ~std::uint64_t(0);
+        return mode_ == KernelMode::Dense ? runUntilIdleDense(limit)
+                                          : runUntilIdleEvent(limit);
     }
 
-    /** Runs for exactly @p cycles cycles. */
+    /** Runs for exactly @p cycles cycles (idle or not). */
     void
     run(Tick cycles)
     {
-        for (Tick i = 0; i < cycles; ++i) {
-            step();
+        const Tick limit = saturatingLimit(cycles);
+        if (mode_ == KernelMode::Dense) {
+            while (now_ < limit) {
+                step();
+            }
+        } else {
+            dirty_ = ~std::uint64_t(0);
+            runEvent(limit);
         }
     }
 
   private:
+    Tick
+    saturatingLimit(Tick cycles) const
+    {
+        return cycles > maxTick - now_ ? maxTick : now_ + cycles;
+    }
+
+    bool
+    anyBusy() const
+    {
+        for (auto *c : components_) {
+            if (c->busy()) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    runUntilIdleDense(Tick limit)
+    {
+        while (now_ < limit) {
+            if (!step()) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Outcome of one event-kernel cycle pass. */
+    struct CyclePass
+    {
+        bool ticked;  //!< At least one component ticked.
+        Tick next;    //!< Earliest future wakeup seen (maxTick if
+                      //!< ticked — pokes invalidate it anyway).
+    };
+
+    /**
+     * Executes one cycle in a single pass. Each component's due-ness
+     * is evaluated *at its turn* in registration order — not in a
+     * separate up-front poll — because a component later in the order
+     * must react in the same cycle to work pushed by an earlier one
+     * (in the dense kernel its tick simply runs after the poke).
+     * Non-due components get the cycle as a fast-forward
+     * notification, and their wakeups are folded into a jump target:
+     * if the whole pass ticked nothing, no state changed, so that
+     * minimum is a safe cycle to fast-forward to. If anything ticked,
+     * it may have poked components already passed, so the caller must
+     * run the next cycle normally rather than jump.
+     *
+     * Wakeup caching: a component that declared its wakeup inputs is
+     * only re-polled while its dirty bit is set — a tick of its own,
+     * a tick of a declared input, or an explicit pokeWakeup() sets
+     * it; otherwise its cached absolute wakeup stands. Dirty bits set
+     * by a tick apply immediately, so a later component in the same
+     * pass sees the poke at its turn, exactly like the uncached path.
+     * Undeclared components are re-polled every executed cycle.
+     */
+    CyclePass
+    executeCycle()
+    {
+        while (!scheduled_.empty() && scheduled_.top().first <= now_) {
+            due_[scheduled_.top().second] = true;
+            scheduled_.pop();
+        }
+        bool ticked = false;
+        Tick next = maxTick;
+        for (std::size_t i = 0; i < components_.size(); ++i) {
+            const std::uint64_t bit = std::uint64_t(1) << i;
+            Tick w;
+            if (due_[i]) {
+                due_[i] = false;
+                w = now_;
+            } else if ((dirty_ & bit) != 0 || (declared_ & bit) == 0) {
+                w = components_[i]->nextWakeup(now_);
+                wake_[i] = w;
+                dirty_ &= ~bit;
+            } else {
+                w = wake_[i];
+            }
+            if (w <= now_) {
+                components_[i]->tick(now_);
+                ticked = true;
+                dirty_ |= succ_[i] | bit;
+            } else {
+                if (components_[i]->hasFastForward()) {
+                    components_[i]->fastForward(now_, now_ + 1);
+                }
+                next = std::min(next, w);
+            }
+        }
+        ++now_;
+        ++executedCycles_;
+        if (!scheduled_.empty()) {
+            next = std::min(next, scheduled_.top().first);
+        }
+        return {ticked, next};
+    }
+
+    /** Jumps the clock to @p target, notifying every component of the
+     *  skipped span so per-cycle accounting stays exact. */
+    void
+    fastForwardTo(Tick target)
+    {
+        if (target <= now_) {
+            return;
+        }
+        for (auto *c : components_) {
+            if (c->hasFastForward()) {
+                c->fastForward(now_, target);
+            }
+        }
+        now_ = target;
+    }
+
+    bool
+    runUntilIdleEvent(Tick limit)
+    {
+        while (now_ < limit) {
+            const CyclePass pass = executeCycle();
+            if (pass.ticked) {
+                if (!anyBusy()) {
+                    return true;
+                }
+                continue;
+            }
+            // An empty cycle while busy: jump to the next wakeup (or
+            // the budget limit — if every wakeup is maxTick while
+            // components stay busy, that is the same deadlock the
+            // dense kernel would step through as no-ops).
+            fastForwardTo(std::min(pass.next, limit));
+        }
+        return false;
+    }
+
+    void
+    runEvent(Tick limit)
+    {
+        while (now_ < limit) {
+            const CyclePass pass = executeCycle();
+            if (!pass.ticked) {
+                fastForwardTo(std::min(pass.next, limit));
+            }
+        }
+    }
+
     Tick now_ = 0;
+    std::uint64_t executedCycles_ = 0;
+    KernelMode mode_ = KernelMode::Event;
     std::vector<Clocked *> components_;
+    std::vector<char> due_; //!< Per-component due flag (event mode).
+    std::vector<Tick> wake_; //!< Cached absolute wakeups (event mode).
+    std::vector<std::uint64_t> succ_; //!< Per-src mask of dependents.
+    std::uint64_t declared_ = 0; //!< Components with declared inputs.
+    std::uint64_t dirty_ = ~std::uint64_t(0); //!< Stale wakeup caches.
+
+    /** Explicitly scheduled (cycle, component index) wakeups. */
+    using ScheduledTick = std::pair<Tick, std::size_t>;
+    std::priority_queue<ScheduledTick, std::vector<ScheduledTick>,
+                        std::greater<ScheduledTick>>
+        scheduled_;
 };
+
+inline void
+Clocked::pokeWakeup()
+{
+    if (system_ != nullptr) {
+        system_->poke(*this);
+    }
+}
+
+inline void
+Clocked::pokeWakeup(const Clocked &other)
+{
+    if (other.system_ != nullptr) {
+        other.system_->poke(other);
+    }
+}
 
 } // namespace hwgc
 

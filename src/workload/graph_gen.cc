@@ -32,8 +32,9 @@ GraphBuilder::allocateOne(bool allow_array)
             1, rng_.geometric(params_.avgArrayLen, params_.maxArrayLen)));
         payload = 0;
     } else {
-        num_refs = std::uint32_t(
-            rng_.geometric(params_.avgRefs, params_.maxRefs));
+        num_refs = std::uint32_t(std::max<std::uint64_t>(
+            params_.minRefs,
+            rng_.geometric(params_.avgRefs, params_.maxRefs)));
         payload = std::uint32_t(rng_.geometric(
             params_.avgPayloadWords, params_.maxPayloadWords));
     }

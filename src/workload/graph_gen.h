@@ -31,6 +31,7 @@ struct GraphParams
 
     double avgRefs = 3.0;      //!< Mean out-degree of plain objects.
     std::uint32_t maxRefs = 12;
+    std::uint32_t minRefs = 0; //!< Out-degree floor (1 = no leaves).
     double avgPayloadWords = 4.0; //!< Mean non-reference payload.
     std::uint32_t maxPayloadWords = 24;
 

@@ -92,8 +92,9 @@ TEST(Determinism, SharedCacheRunsAreReproducible)
 TEST(Determinism, SwSideIsReproducibleToo)
 {
     auto run = [] {
-        driver::GcLab lab(workload::smokeProfile(),
-                          driver::LabConfig{.runHw = false});
+        driver::LabConfig config;
+        config.runHw = false;
+        driver::GcLab lab(workload::smokeProfile(), config);
         lab.run();
         return std::pair{lab.results().back().swMarkCycles,
                          lab.results().back().swSweepCycles};

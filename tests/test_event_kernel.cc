@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Event-kernel equivalence tests: the event-driven kernel must be a
+ * cycle-exact, stat-exact drop-in for the dense reference kernel on
+ * every configuration we model, and System::schedule() must never
+ * lose a cycle no matter how a wakeup is requested.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/gc_lab.h"
+
+namespace hwgc
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Device-level A/B: run the same pause sequence under both kernels and
+// require every cycle count and statistic to match bit for bit.
+// ---------------------------------------------------------------------
+
+struct KernelSignature
+{
+    Tick hwMark = 0;
+    Tick hwSweep = 0;
+    std::uint64_t marked = 0;
+    std::uint64_t freed = 0;
+    std::uint64_t tracerRequests = 0;
+    std::uint64_t spillWrites = 0;
+    std::uint64_t spillReads = 0;
+    std::uint64_t spilled = 0;
+    std::uint64_t markerTlbMisses = 0;
+    std::uint64_t tracerTlbMisses = 0;
+    std::uint64_t ptwWalks = 0;
+    std::uint64_t busBusyCycles = 0;
+    std::uint64_t busCycles = 0;
+    std::uint64_t dramBytes = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+};
+
+KernelSignature
+runWithKernel(core::HwgcConfig config, KernelMode kernel,
+              const workload::BenchmarkProfile &profile)
+{
+    config.kernel = kernel;
+    driver::LabConfig lab_config;
+    lab_config.runSw = false;
+    lab_config.verify = true; // Oracle-check marks and the swept heap.
+    lab_config.hwgc = config;
+    lab_config.heap.layout = config.layout; // Heap must match device.
+    driver::GcLab lab(profile, lab_config);
+    lab.run();
+
+    // Fold every pause in, so divergence in any pause is caught even
+    // if a later pause happens to compensate.
+    KernelSignature sig;
+    for (const auto &pause : lab.results()) {
+        sig.hwMark += pause.hwMarkCycles;
+        sig.hwSweep += pause.hwSweepCycles;
+        sig.marked += pause.objectsMarked;
+        sig.freed += pause.cellsFreed;
+        sig.tracerRequests += pause.hw.tracerRequests;
+        sig.spillWrites += pause.hw.spillWrites;
+        sig.spillReads += pause.hw.spillReads;
+        sig.spilled += pause.hw.entriesSpilled;
+        sig.markerTlbMisses += pause.hw.markerTlbMisses;
+        sig.tracerTlbMisses += pause.hw.tracerTlbMisses;
+        sig.ptwWalks += pause.hw.ptwWalks;
+        sig.busBusyCycles += pause.hw.busBusyCycles;
+        sig.busCycles += pause.hw.busCycles;
+        sig.dramBytes += pause.hw.dramBytes;
+        sig.dramReads += pause.hw.dramReads;
+        sig.dramWrites += pause.hw.dramWrites;
+    }
+    return sig;
+}
+
+void
+expectKernelsAgree(const core::HwgcConfig &config,
+                   const workload::BenchmarkProfile &profile)
+{
+    const auto dense =
+        runWithKernel(config, KernelMode::Dense, profile);
+    const auto event =
+        runWithKernel(config, KernelMode::Event, profile);
+    EXPECT_EQ(dense.hwMark, event.hwMark);
+    EXPECT_EQ(dense.hwSweep, event.hwSweep);
+    EXPECT_EQ(dense.marked, event.marked);
+    EXPECT_EQ(dense.freed, event.freed);
+    EXPECT_EQ(dense.tracerRequests, event.tracerRequests);
+    EXPECT_EQ(dense.spillWrites, event.spillWrites);
+    EXPECT_EQ(dense.spillReads, event.spillReads);
+    EXPECT_EQ(dense.spilled, event.spilled);
+    EXPECT_EQ(dense.markerTlbMisses, event.markerTlbMisses);
+    EXPECT_EQ(dense.tracerTlbMisses, event.tracerTlbMisses);
+    EXPECT_EQ(dense.ptwWalks, event.ptwWalks);
+    EXPECT_EQ(dense.busBusyCycles, event.busBusyCycles);
+    EXPECT_EQ(dense.busCycles, event.busCycles);
+    EXPECT_EQ(dense.dramBytes, event.dramBytes);
+    EXPECT_EQ(dense.dramReads, event.dramReads);
+    EXPECT_EQ(dense.dramWrites, event.dramWrites);
+}
+
+TEST(EventKernel, MatchesDenseOnBaselineDdr3)
+{
+    expectKernelsAgree(core::HwgcConfig{}, workload::smokeProfile());
+}
+
+TEST(EventKernel, MatchesDenseWithSharedCache)
+{
+    core::HwgcConfig config;
+    config.sharedCache = true;
+    expectKernelsAgree(config, workload::smokeProfile());
+}
+
+TEST(EventKernel, MatchesDenseOnIdealMemory)
+{
+    core::HwgcConfig config;
+    config.memModel = core::MemModel::Ideal;
+    expectKernelsAgree(config, workload::smokeProfile());
+}
+
+TEST(EventKernel, MatchesDenseUnderSpillPressure)
+{
+    core::HwgcConfig config;
+    config.markQueueEntries = 32; // Force mark-queue spills.
+    expectKernelsAgree(config, workload::smokeProfile());
+}
+
+TEST(EventKernel, MatchesDenseUnderBandwidthThrottle)
+{
+    core::HwgcConfig config;
+    config.bus.throttleBytesPerCycle = 1.0;
+    expectKernelsAgree(config, workload::smokeProfile());
+}
+
+TEST(EventKernel, MatchesDenseOnTibLayout)
+{
+    core::HwgcConfig config;
+    config.layout = runtime::Layout::Tib;
+    expectKernelsAgree(config, workload::smokeProfile());
+}
+
+TEST(EventKernel, MatchesDenseOnFig15Workload)
+{
+    // The bench_fig15 configuration is the default HwgcConfig; run it
+    // on one DaCapo-profile heap (scaled to one pause to keep the
+    // dense reference run affordable in a unit test).
+    auto profile = workload::dacapoProfile("avrora");
+    profile.numGCs = 1;
+    expectKernelsAgree(core::HwgcConfig{}, profile);
+}
+
+// ---------------------------------------------------------------------
+// Kernel-level scheduling semantics.
+// ---------------------------------------------------------------------
+
+/**
+ * Drives itself purely through System::schedule(), deliberately
+ * requesting wakeups at the current cycle and in the past: the kernel
+ * must clamp those to "next evaluated cycle" and tick on consecutive
+ * cycles with no gap and no lost cycle.
+ */
+class Rescheduler : public Clocked
+{
+  public:
+    Rescheduler(System &sys, unsigned total)
+        : Clocked("resched"), sys_(sys), total_(total)
+    {
+    }
+
+    void
+    tick(Tick now) override
+    {
+        ticks.push_back(now);
+        if (ticks.size() < total_) {
+            // At now, or 5 cycles in the past — both must behave as
+            // "tick me on the very next cycle".
+            sys_.schedule(this, now >= 5 ? now - 5 : now);
+        }
+    }
+
+    bool busy() const override { return ticks.size() < total_; }
+    Tick nextWakeup(Tick) const override { return maxTick; }
+
+    std::vector<Tick> ticks;
+
+  private:
+    System &sys_;
+    unsigned total_;
+};
+
+TEST(EventKernel, PastAndPresentSchedulesLoseNoCycle)
+{
+    System sys;
+    sys.setMode(KernelMode::Event);
+    Rescheduler r(sys, 8);
+    sys.add(&r);
+    sys.schedule(&r, 0);
+    EXPECT_TRUE(sys.runUntilIdle(100));
+    ASSERT_EQ(r.ticks.size(), 8u);
+    for (std::size_t i = 0; i < r.ticks.size(); ++i) {
+        EXPECT_EQ(r.ticks[i], Tick(i)); // Consecutive, starting at 0.
+    }
+    EXPECT_EQ(sys.now(), 8u);
+}
+
+TEST(EventKernel, FutureScheduleFiresExactlyOnTime)
+{
+    System sys;
+    sys.setMode(KernelMode::Event);
+    Rescheduler r(sys, 1);
+    sys.add(&r);
+    sys.schedule(&r, 7);
+    sys.run(10);
+    ASSERT_EQ(r.ticks.size(), 1u);
+    EXPECT_EQ(r.ticks[0], 7u);
+    EXPECT_EQ(sys.now(), 10u); // run() still covers the full span.
+}
+
+// ---------------------------------------------------------------------
+// Skipping really happens, and skipped spans are still accounted.
+// ---------------------------------------------------------------------
+
+/** Does one unit of work every @p period cycles, for five pulses. */
+class Pulse : public Clocked
+{
+  public:
+    explicit Pulse(Tick period) : Clocked("pulse"), period_(period) {}
+
+    void
+    tick(Tick now) override
+    {
+        ++tickCalls;
+        if (now % period_ == 0 && work < 5) {
+            ++work;
+        }
+    }
+
+    bool busy() const override { return work < 5; }
+
+    Tick
+    nextWakeup(Tick now) const override
+    {
+        if (work >= 5) {
+            return maxTick;
+        }
+        return now % period_ == 0 ? now
+                                  : now + (period_ - now % period_);
+    }
+
+    Tick period_;
+    unsigned work = 0;
+    std::uint64_t tickCalls = 0;
+};
+
+/** Counts elapsed cycles through tick() and fastForward() alike. */
+class CycleLedger : public Clocked
+{
+  public:
+    CycleLedger() : Clocked("ledger") { hasFastForward_ = true; }
+    void tick(Tick) override { ++cycles; }
+    bool busy() const override { return false; }
+    void fastForward(Tick from, Tick to) override
+    {
+        cycles += to - from;
+    }
+    std::uint64_t cycles = 0;
+};
+
+TEST(EventKernel, SkipsIdleCyclesButKeepsTimeAndStateExact)
+{
+    auto run = [](KernelMode mode) {
+        System sys;
+        sys.setMode(mode);
+        Pulse pulse(100);
+        CycleLedger ledger;
+        sys.add(&pulse);
+        sys.add(&ledger);
+        EXPECT_TRUE(sys.runUntilIdle(10'000));
+        EXPECT_EQ(ledger.cycles, sys.now());
+        return std::tuple{sys.now(), pulse.work, pulse.tickCalls};
+    };
+    const auto [dense_now, dense_work, dense_ticks] =
+        run(KernelMode::Dense);
+    const auto [event_now, event_work, event_ticks] =
+        run(KernelMode::Event);
+
+    EXPECT_EQ(dense_now, event_now);   // Same simulated time...
+    EXPECT_EQ(dense_work, event_work); // ...same state...
+    EXPECT_EQ(event_ticks, 5u);        // ...but only 5 real ticks
+    EXPECT_GT(dense_ticks, 100u);      // vs one per cycle densely.
+}
+
+} // namespace
+} // namespace hwgc
