@@ -11,8 +11,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Ablation: decoupling and untagged tracing",
                   "both ideas are needed for the unit's bandwidth");

@@ -15,8 +15,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Ablation: bidirectional vs TIB layout",
                   "TIB layout costs extra dependent reads per object");

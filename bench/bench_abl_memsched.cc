@@ -12,8 +12,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Ablation: memory access scheduler",
                   "FR-FCFS + 16 reads in flight matter for the unit, "

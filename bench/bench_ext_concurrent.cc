@@ -12,8 +12,9 @@
 #include "workload/dacapo.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Extension: concurrent marking (Sec IV-D)",
                   "write barrier via the root region; snapshot "

@@ -12,8 +12,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Extension: 2 MiB superpages (Sec VII)",
                   "superpages remove the blocking-PTW serialization");

@@ -14,8 +14,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Extension: bandwidth throttling (Sec VII)",
                   "graceful GC pacing against a bytes/cycle budget");

@@ -14,8 +14,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 1a: CPU time spent in GC pauses",
                   "up to 35% of CPU time goes to stop-the-world GC");

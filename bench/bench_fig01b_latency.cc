@@ -15,8 +15,9 @@
 #include "workload/latency.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 1b: lusearch query-latency CDF",
                   "GC stragglers 2 orders of magnitude over the median");

@@ -14,8 +14,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 15: GC performance (CPU vs GC unit)",
                   "mark 4.2x, sweep 1.9x on average");

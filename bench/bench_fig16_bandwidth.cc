@@ -13,8 +13,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 16: memory bandwidth, last avrora GC pause",
                   "the unit sustains much higher DRAM bandwidth");
@@ -71,5 +72,12 @@ main()
                     double(last.swMarkCycles + last.swSweepCycles)),
                 bench::msFromCycles(
                     double(last.hwMarkCycles + last.hwSweepCycles)));
+
+    session.meta().kernel =
+        lab.device().config().kernel == KernelMode::Event ? "event"
+                                                          : "dense";
+    session.meta().config = "dacapo:avrora";
+    session.meta().simCycles = lab.device().system().now();
+    session.finish(); // Export while the lab is still alive.
     return 0;
 }

@@ -14,8 +14,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 17: 1-cycle DRAM / 8 GB/s pipe",
                   "mark speedup rises to ~9x; port busy 88%");

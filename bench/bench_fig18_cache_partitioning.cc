@@ -28,8 +28,9 @@ printShare(const char *label, std::uint64_t value, std::uint64_t total)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 18: shared vs partitioned unit caches",
                   "PTW dominates the shared cache; partitioning fixes it");

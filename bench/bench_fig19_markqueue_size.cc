@@ -29,8 +29,9 @@ struct Variant
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 19: mark queue size trade-offs",
                   "spilling ~2% of requests; performance flat; "

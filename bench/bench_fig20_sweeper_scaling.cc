@@ -15,8 +15,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 20: block sweeper scaling",
                   "linear to 2 sweepers, flattening by 8; 4 sweepers "

@@ -17,8 +17,9 @@
 #include "driver/gc_lab.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 21: mark-bit cache",
                   "56 hot objects ~10% of accesses; tiny cache filters"

@@ -30,8 +30,9 @@ printBreakdown(const char *title,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 22: area (Synopsys-DC-style estimates)",
                   "unit = 18.5% of Rocket, ~64 KiB of SRAM");

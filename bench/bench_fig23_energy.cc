@@ -15,8 +15,9 @@
 #include "model/power.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Fig 23: power and energy",
                   "unit draws more DRAM power but ~14.5% less energy");

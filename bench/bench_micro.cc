@@ -250,6 +250,7 @@ runKernelAbSuite()
 int
 main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     runKernelAbSuite();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

@@ -12,8 +12,9 @@
 #include "cpu/core_model.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     bench::banner("Table I: RocketChip Configuration",
                   "Rocket in-order CPU @ 1 GHz, DDR3-2000 memory");

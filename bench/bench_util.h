@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/telemetry.h"
 #include "sim/types.h"
 
 namespace hwgc::bench

@@ -49,6 +49,7 @@ evaluate(const workload::BenchmarkProfile &profile,
 int
 main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     const std::string bench = argc > 1 ? argv[1] : "avrora";
     const auto profile = workload::dacapoProfile(bench);
 

@@ -22,6 +22,7 @@
 int
 main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     const std::string bench = argc > 1 ? argv[1] : "luindex";
     const auto profile = workload::dacapoProfile(bench);
@@ -74,29 +75,10 @@ main(int argc, char **argv)
     std::printf("mark: %.3f ms, sweep: %.3f ms\n",
                 double(mark.cycles) / 1e6, double(sweep.cycles) / 1e6);
 
-    stats::Scalar marks_issued("marker.marksIssued");
-    marks_issued.set(device.marker().marksIssued());
-    stats::Scalar already("marker.alreadyMarked");
-    already.set(device.marker().alreadyMarked());
-    stats::Scalar traced("tracer.requests");
-    traced.set(device.tracer().requestsIssued());
-    stats::Scalar nulls("tracer.nullRefsDropped");
-    nulls.set(device.tracer().nullRefsDropped());
-    stats::Scalar spills("markQueue.entriesSpilled");
-    spills.set(device.markQueue().entriesSpilled());
-    stats::Scalar depth("markQueue.maxDepth");
-    depth.set(device.markQueue().maxDepth());
-    stats::Scalar walks("ptw.walks");
-    walks.set(device.ptw().walksStarted());
-    stats::Scalar freed("reclamation.cellsFreed");
-    freed.set(device.reclamation().cellsFreed());
-
-    stats::Group group("hwgc");
-    for (auto *s : {&marks_issued, &already, &traced, &nulls, &spills,
-                    &depth, &walks, &freed}) {
-        group.add(s);
-    }
-    group.dump(std::cout);
+    // Every component registered itself in the global registry when
+    // the device was built; dump the whole hierarchy from there
+    // (paths look like "system.hwgc0.marker").
+    telemetry::StatsRegistry::global().dump(std::cout);
 
     // The software check the paper's debug libhwgc performed.
     const auto marks_ok = gc::verifyMarks(heap);

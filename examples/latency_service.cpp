@@ -19,6 +19,7 @@
 int
 main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
     const std::string bench = argc > 1 ? argv[1] : "lusearch";
     const auto profile = workload::dacapoProfile(bench);

@@ -17,8 +17,9 @@
 #include "workload/graph_gen.h"
 
 int
-main()
+main(int argc, char **argv)
 {
+    hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
 
     // 1. A simulated machine: physical memory + a managed heap.

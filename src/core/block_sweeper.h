@@ -68,6 +68,16 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     std::uint64_t lineFetches() const { return lineFetches_.value(); }
     /** @} */
 
+    /** Registers the sweeper's statistics into @p g (telemetry). */
+    void
+    addStats(stats::Group &g) const
+    {
+        g.add(&blocks_);
+        g.add(&cells_);
+        g.add(&freed_);
+        g.add(&lineFetches_);
+    }
+
   private:
     /** A buffered 64-byte line (the sweeper's two-line buffer). */
     struct LineBuf

@@ -188,6 +188,95 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
     }
     system_.declareWakeupInputs(bus_.get(), {memory_.get()});
     system_.declareWakeupInputs(memory_.get(), {});
+
+    registerTelemetry();
+}
+
+void
+HwgcDevice::registerTelemetry()
+{
+    auto &registry = telemetry::StatsRegistry::global();
+    statsPrefix_ = registry.uniquePrefix("system.hwgc");
+    auto addGroup = [&](const std::string &sub) -> stats::Group & {
+        statGroups_.push_back(std::make_unique<stats::Group>(sub));
+        statPaths_.push_back(registry.add(statsPrefix_ + "." + sub,
+                                          statGroups_.back().get()));
+        return *statGroups_.back();
+    };
+    rootReader_->addStats(addGroup("rootReader"));
+    marker_->addStats(addGroup("marker"));
+    marker_->tlb().addStats(addGroup("marker.tlb"));
+    tracer_->addStats(addGroup("tracer"));
+    tracer_->tlb().addStats(addGroup("tracer.tlb"));
+    markQueue_->addStats(addGroup("markQueue"));
+    traceQueue_->addStats(addGroup("traceQueue"));
+    reclamation_->addStats(addGroup("reclamation"));
+    for (std::size_t i = 0; i < reclamation_->sweepers().size(); ++i) {
+        reclamation_->sweepers()[i]->addStats(
+            addGroup("sweeper" + std::to_string(i)));
+    }
+    ptw_->addStats(addGroup("ptw"));
+    ptw_->l2Tlb().addStats(addGroup("ptw.l2tlb"));
+    bus_->addStats(addGroup("bus"));
+    memory_->addStats(addGroup("memory"));
+    if (sharedCache_) {
+        sharedCache_->addStats(addGroup("unitcache"));
+    }
+    if (ptwCache_) {
+        ptwCache_->addStats(addGroup("ptwcache"));
+    }
+
+    // Attach the kernel observer only when a telemetry sink is on, so
+    // the default cost is one null-pointer compare per executed cycle.
+    const telemetry::Options &opts = telemetry::options();
+    if (!telemetry::TraceWriter::global().enabled() &&
+        opts.statsInterval == 0) {
+        return;
+    }
+    std::vector<std::string> names;
+    for (const Clocked *c : system_.components()) {
+        names.push_back(c->name());
+    }
+    sysTracer_ = std::make_unique<telemetry::SystemTracer>(
+        std::move(names), statsPrefix_ + ".");
+    sysTracer_->addCounter("markQueue.depth", [this] {
+        return double(markQueue_->depth());
+    });
+    sysTracer_->addCounter("traceQueue.depth", [this] {
+        return double(traceQueue_->size());
+    });
+    sysTracer_->addRateCounter("bus.utilization", [this] {
+        return double(bus_->busBusyCycles());
+    });
+    if (dramPtr_ != nullptr) {
+        sysTracer_->addRateCounter("dram.bytesPerCycle", [this] {
+            return double(dramPtr_->bytesRead().value() +
+                          dramPtr_->bytesWritten().value());
+        });
+    }
+    if (sharedCache_) {
+        sysTracer_->addCounter("unitcache.mshrs", [this] {
+            return double(sharedCache_->mshrsInUse());
+        });
+    }
+    if (ptwCache_) {
+        sysTracer_->addCounter("ptwcache.mshrs", [this] {
+            return double(ptwCache_->mshrsInUse());
+        });
+    }
+    system_.setObserver(sysTracer_.get());
+}
+
+HwgcDevice::~HwgcDevice()
+{
+    if (sysTracer_) {
+        sysTracer_->flush(system_.now());
+        system_.setObserver(nullptr);
+    }
+    auto &registry = telemetry::StatsRegistry::global();
+    for (const std::string &path : statPaths_) {
+        registry.remove(path);
+    }
 }
 
 void
@@ -217,6 +306,9 @@ HwgcDevice::runMark()
 {
     panic_if(regs_.rootCount == 0 && regs_.hwgcSpaceBase == 0,
              "device not configured");
+    const Tick start = system_.now();
+    DPRINTF(start, "Device", "%s: mark phase start, %llu roots",
+            statsPrefix_.c_str(), (unsigned long long)regs_.rootCount);
     regs_.status = MmioRegs::Marking;
     rootReader_->start(regs_.hwgcSpaceBase, regs_.rootCount);
 
@@ -228,12 +320,30 @@ HwgcDevice::runMark()
     result.objectsMarked = marker_->newlyMarked();
     result.refsTraced = tracer_->refsEnqueued();
     regs_.status = MmioRegs::Idle;
+
+    const Tick end = system_.now();
+    DPRINTF(end, "Device", "%s: mark phase done, %llu marked",
+            statsPrefix_.c_str(),
+            (unsigned long long)result.objectsMarked);
+    if (sysTracer_) {
+        sysTracer_->flush(end);
+    }
+    telemetry::TraceWriter &tw = telemetry::TraceWriter::global();
+    if (tw.enabled()) {
+        const Tick roots_done = rootReader_->doneAt();
+        tw.completeSpan(statsPrefix_, "rootScan", start,
+                        roots_done != 0 ? roots_done : end);
+        tw.completeSpan(statsPrefix_, "mark", start, end);
+    }
     return result;
 }
 
 HwPhaseResult
 HwgcDevice::runSweep()
 {
+    const Tick start = system_.now();
+    DPRINTF(start, "Device", "%s: sweep phase start, %llu blocks",
+            statsPrefix_.c_str(), (unsigned long long)regs_.blockCount);
     regs_.status = MmioRegs::Sweeping;
     reclamation_->start(regs_.blockTableBase, regs_.blockCount);
 
@@ -243,6 +353,18 @@ HwgcDevice::runSweep()
              "sweep phase ended with residual work");
     result.cellsFreed = reclamation_->cellsFreed();
     regs_.status = MmioRegs::Idle;
+
+    const Tick end = system_.now();
+    DPRINTF(end, "Device", "%s: sweep phase done, %llu freed",
+            statsPrefix_.c_str(),
+            (unsigned long long)result.cellsFreed);
+    if (sysTracer_) {
+        sysTracer_->flush(end);
+    }
+    telemetry::TraceWriter &tw = telemetry::TraceWriter::global();
+    if (tw.enabled()) {
+        tw.completeSpan(statsPrefix_, "sweep", start, end);
+    }
     return result;
 }
 

@@ -25,6 +25,7 @@
 #include "core/tracer.h"
 #include "mem/timed_cache.h"
 #include "runtime/heap.h"
+#include "sim/telemetry.h"
 
 namespace hwgc::core
 {
@@ -64,6 +65,8 @@ class HwgcDevice
      */
     HwgcDevice(mem::PhysMem &mem, const mem::PageTable &page_table,
                const HwgcConfig &config);
+
+    ~HwgcDevice();
 
     /** Driver helper: programs the registers from the heap's state. */
     void configure(const runtime::Heap &heap);
@@ -107,6 +110,13 @@ class HwgcDevice
     System &system() { return system_; }
     /** @} */
 
+    /**
+     * The dotted path this device's stats groups registered under in
+     * the global telemetry::StatsRegistry ("system.hwgc0", ...). Also
+     * the track prefix of its trace-event timeline.
+     */
+    const std::string &statsPrefix() const { return statsPrefix_; }
+
   private:
     /** Steps the system until the given phase-done predicate holds
      *  and the memory side has drained. */
@@ -139,6 +149,15 @@ class HwgcDevice
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<RootReader> rootReader_;
     std::unique_ptr<ReclamationUnit> reclamation_;
+
+    /** Registers every component's stats under statsPrefix_ and
+     *  attaches the kernel observer when telemetry is active. */
+    void registerTelemetry();
+
+    std::string statsPrefix_;
+    std::vector<std::unique_ptr<stats::Group>> statGroups_;
+    std::vector<std::string> statPaths_;
+    std::unique_ptr<telemetry::SystemTracer> sysTracer_;
 };
 
 } // namespace hwgc::core

@@ -195,6 +195,10 @@ MarkQueue::tick(Tick now)
             writeInFlight_ = true;
             port_->send(req, now);
             noteDepth();
+            DPRINTF(now, "MarkQueue",
+                    "%s: spill write tail=%llu entries=%u",
+                    name().c_str(), (unsigned long long)spillTail_,
+                    granule);
             return;
         }
     }
@@ -216,6 +220,8 @@ MarkQueue::tick(Tick now)
             ++spillReads_;
             readInFlight_ = true;
             port_->send(req, now);
+            DPRINTF(now, "MarkQueue", "%s: spill read head=%llu",
+                    name().c_str(), (unsigned long long)spillHead_);
             return;
         }
     }

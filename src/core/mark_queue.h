@@ -95,6 +95,17 @@ class MarkQueue : public Clocked, public mem::MemResponder
     std::uint64_t peakSpillBytes() const { return peakSpill_.value(); }
     /** @} */
 
+    /** Registers the queue's statistics into @p g (telemetry). */
+    void
+    addStats(stats::Group &g) const
+    {
+        g.add(&spillWrites_);
+        g.add(&spillReads_);
+        g.add(&entriesSpilled_);
+        g.add(&maxDepth_);
+        g.add(&peakSpill_);
+    }
+
   private:
     /** Bytes per packed reference in the queue and spill region. */
     unsigned entryBytes() const { return config_.compressRefs ? 4 : 8; }

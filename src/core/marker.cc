@@ -146,6 +146,9 @@ Marker::issueRead(Addr ref, Addr pa, Tick now)
     port_->send(req, now);
     ++inFlightReads_;
     ++marksIssued_;
+    DPRINTF(now, "Marker", "%s: mark read ref=%#llx pa=%#llx slot=%d",
+            name().c_str(), (unsigned long long)ref,
+            (unsigned long long)pa, idx);
     return true;
 }
 

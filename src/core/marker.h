@@ -133,6 +133,18 @@ class Marker : public Clocked, public mem::MemResponder
     }
     /** @} */
 
+    /** Registers the marker's statistics into @p g (telemetry). */
+    void
+    addStats(stats::Group &g) const
+    {
+        g.add(&marksIssued_);
+        g.add(&alreadyMarked_);
+        g.add(&newlyMarked_);
+        g.add(&writebacksElided_);
+        g.add(&markCacheHits_);
+        g.add(&tlbMissStalls_);
+    }
+
   private:
     enum class SlotState : std::uint8_t
     {

@@ -82,6 +82,13 @@ ReclamationUnit::tick(Tick now)
                 entryReady_ = false;
                 ++nextBlock_;
                 ++dispatched_;
+                DPRINTF(now, "Sweep",
+                        "%s: block %llu -> %s base=%#llx cell=%u",
+                        name().c_str(),
+                        (unsigned long long)(nextBlock_ - 1),
+                        sweeper->name().c_str(),
+                        (unsigned long long)pendingJob_.baseVa,
+                        pendingJob_.cellBytes);
                 break;
             }
         }

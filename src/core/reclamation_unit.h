@@ -61,6 +61,9 @@ class ReclamationUnit : public Clocked, public mem::MemResponder
     std::uint64_t cellsScanned() const;
     /** @} */
 
+    /** Registers the dispatcher's statistics into @p g (telemetry). */
+    void addStats(stats::Group &g) const { g.add(&dispatched_); }
+
   private:
     HwgcConfig config_;
     mem::MemPort *readerPort_;

@@ -29,6 +29,10 @@ RootReader::start(Addr base_va, std::uint64_t count)
     base_ = base_va;
     cursor_ = base_va;
     end_ = base_va + count * wordBytes;
+    doneAt_ = 0;
+    DPRINTF(0, "RootReader", "%s: armed base=%#llx roots=%llu",
+            name().c_str(), (unsigned long long)base_va,
+            (unsigned long long)count);
 }
 
 void
@@ -59,6 +63,7 @@ RootReader::onResponse(const mem::MemResponse &resp, Tick now)
             pending_.push_back(resp.rdata[i]);
         }
     }
+    noteDone(now);
 }
 
 void
@@ -72,6 +77,7 @@ RootReader::tick(Tick now)
         ++rootsRead_;
         ++moved;
     }
+    noteDone(now);
 
     if (cursor_ >= end_ || pending_.size() >= 64) {
         return;
@@ -130,6 +136,7 @@ RootReader::reset()
     panic_if(!done(), "root reader reset while active");
     tlb_.flush();
     base_ = cursor_ = end_ = 0;
+    doneAt_ = 0;
 }
 
 } // namespace hwgc::core

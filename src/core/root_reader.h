@@ -54,7 +54,26 @@ class RootReader : public Clocked, public mem::MemResponder
 
     std::uint64_t rootsRead() const { return rootsRead_.value(); }
 
+    /**
+     * The cycle the reader first finished the armed region (0 while
+     * still streaming). Telemetry uses this as the root-scan phase
+     * boundary inside the mark span.
+     */
+    Tick doneAt() const { return doneAt_; }
+
+    /** Registers the reader's statistics into @p g (telemetry). */
+    void addStats(stats::Group &g) const { g.add(&rootsRead_); }
+
   private:
+    /** Records the first completion cycle (observational only). */
+    void
+    noteDone(Tick now)
+    {
+        if (doneAt_ == 0 && end_ != 0 && done()) {
+            doneAt_ = now;
+        }
+    }
+
     HwgcConfig config_;
     MarkQueue &markQueue_;
     mem::MemPort *port_;
@@ -68,6 +87,7 @@ class RootReader : public Clocked, public mem::MemResponder
     std::deque<Addr> pending_;
 
     bool walkPending_ = false;
+    Tick doneAt_ = 0;
 
     stats::Scalar rootsRead_{"rootsRead"};
 };

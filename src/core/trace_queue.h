@@ -64,6 +64,9 @@ class TraceQueue
     std::uint64_t maxDepth() const { return maxDepth_.value(); }
     void resetStats() { maxDepth_.reset(); }
 
+    /** Registers the queue's statistics into @p g (telemetry). */
+    void addStats(stats::Group &g) const { g.add(&maxDepth_); }
+
   private:
     unsigned capacity_;
     std::deque<TraceEntry> q_;

@@ -174,6 +174,8 @@ Tracer::issue(Tick now)
         }
         active_ = a;
         ++objects_;
+        DPRINTF(now, "Tracer", "%s: trace object ref=%#llx refs=%u",
+                name().c_str(), (unsigned long long)a.ref, a.numRefs);
     }
     Active &a = *active_;
 

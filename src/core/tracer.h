@@ -72,6 +72,20 @@ class Tracer : public Clocked, public mem::MemResponder
     const mem::TlbArray &tlb() const { return tlb_; }
     /** @} */
 
+    /** Registers the tracer's statistics into @p g (telemetry). */
+    void
+    addStats(stats::Group &g) const
+    {
+        g.add(&requests_);
+        g.add(&bytesRequested_);
+        g.add(&refsEnqueued_);
+        g.add(&nullsDropped_);
+        g.add(&objects_);
+        g.add(&pageCrossings_);
+        g.add(&throttled_);
+        g.add(&tibReads_);
+    }
+
     /**
      * Computes the next transfer size for a cursor at @p addr with
      * @p remaining bytes left: the largest of {64,32,16,8} that is

@@ -94,6 +94,16 @@ class CoreModel
     const mem::TlbArray &dtlb() const { return dtlb_; }
     /** @} */
 
+    /** Registers the core's statistics into @p g (telemetry). */
+    void
+    addStats(stats::Group &g) const
+    {
+        g.add(&instrs_);
+        g.add(&mispredicts_);
+        g.add(&loads_);
+        g.add(&stores_);
+    }
+
   private:
     /** Translates @p va, charging TLB hit or a walk through the L2. */
     Addr translate(Addr va);

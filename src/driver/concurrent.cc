@@ -147,6 +147,14 @@ ConcurrentMarkLab::run()
     result.mutations = params_.totalMutations - remaining;
     result.barrierEntries = barrierEntries_;
 
+    telemetry::TraceWriter &tw = telemetry::TraceWriter::global();
+    if (tw.enabled()) {
+        tw.completeSpan(device_.statsPrefix(), "concurrentMark", start,
+                        system.now());
+        tw.counter(device_.statsPrefix() + ".barrierEntries",
+                   system.now(), double(barrierEntries_));
+    }
+
     heap_.setAllocateBlack(false);
 
     // Snapshot invariant: everything reachable at the start is marked.

@@ -36,9 +36,30 @@ GcLab::GcLab(const workload::BenchmarkProfile &profile,
 
     device_ = std::make_unique<core::HwgcDevice>(
         mem_, heap_->pageTable(), config_.hwgc);
+
+    // Register the CPU baseline's stats beside the device's.
+    auto &registry = telemetry::StatsRegistry::global();
+    const std::string prefix = registry.uniquePrefix("system.cpu");
+    auto addGroup = [&](const std::string &sub) -> stats::Group & {
+        statGroups_.push_back(std::make_unique<stats::Group>(sub));
+        statPaths_.push_back(registry.add(prefix + "." + sub,
+                                          statGroups_.back().get()));
+        return *statGroups_.back();
+    };
+    core_->addStats(addGroup("core"));
+    core_->l1d().addStats(addGroup("core.l1d"));
+    core_->l2().addStats(addGroup("core.l2"));
+    core_->dtlb().addStats(addGroup("core.dtlb"));
+    cpuMemory_->addStats(addGroup("memory"));
 }
 
-GcLab::~GcLab() = default;
+GcLab::~GcLab()
+{
+    auto &registry = telemetry::StatsRegistry::global();
+    for (const std::string &path : statPaths_) {
+        registry.remove(path);
+    }
+}
 
 PauseResult
 GcLab::runOnePause()

@@ -132,6 +132,11 @@ class GcLab
     // Hardware side.
     std::unique_ptr<core::HwgcDevice> device_;
 
+    // Telemetry registration of the CPU side (the device registers
+    // its own components under its own prefix).
+    std::vector<std::unique_ptr<stats::Group>> statGroups_;
+    std::vector<std::string> statPaths_;
+
     std::vector<PauseResult> results_;
 };
 

@@ -64,6 +64,15 @@ class AtomicCache
     const std::string &name() const { return name_; }
     /** @} */
 
+    /** Registers this cache's statistics into @p g (telemetry). */
+    void
+    addStats(stats::Group &g) const
+    {
+        g.add(&hits_);
+        g.add(&misses_);
+        g.add(&writebacks_);
+    }
+
   private:
     /** Handles one line's worth of the access. */
     Tick accessLine(Addr line_addr, bool is_write, Tick now);

@@ -45,6 +45,9 @@ Dram::sendRequest(const MemRequest &req, Tick now)
 {
     pokeWakeup(); // The new entry changes the earliest issue time.
     panic_if(!canAccept(req), "DRAM overflow: in-flight limit exceeded");
+    DPRINTF(now, "DRAM", "%s: %s addr=%#llx size=%u", name().c_str(),
+            req.isWrite() ? "write" : "read",
+            (unsigned long long)req.paddr, req.size);
     if (req.isWrite()) {
         ++writesInFlight_;
     } else {

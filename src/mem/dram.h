@@ -107,6 +107,20 @@ class Dram : public MemDevice
     const stats::Histogram &latency() const { return latency_; }
     /** @} */
 
+    void
+    addStats(stats::Group &g) override
+    {
+        g.add(&numReads_);
+        g.add(&numWrites_);
+        g.add(&bytesRead_);
+        g.add(&bytesWritten_);
+        g.add(&rowHits_);
+        g.add(&rowMisses_);
+        g.add(&numActivates_);
+        g.add(&bandwidth_);
+        g.add(&latency_);
+    }
+
   private:
     struct Bank
     {

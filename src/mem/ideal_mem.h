@@ -67,6 +67,14 @@ class IdealMem : public MemDevice
     const stats::TimeSeries &bandwidth() const { return bandwidth_; }
     /** @} */
 
+    void
+    addStats(stats::Group &g) override
+    {
+        g.add(&numRequests_);
+        g.add(&bytesMoved_);
+        g.add(&bandwidth_);
+    }
+
   private:
     struct Completion
     {

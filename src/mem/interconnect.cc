@@ -26,6 +26,8 @@ Interconnect::registerClient(MemResponder *responder, std::string label)
     port.responder = responder;
     port.label = std::move(label);
     ports_.push_back(std::move(port));
+    portRequests_.emplace_back("requests::" + ports_.back().label);
+    portBytes_.emplace_back("bytes::" + ports_.back().label);
     return unsigned(ports_.size() - 1);
 }
 
@@ -63,8 +65,12 @@ Interconnect::sendRequest(const MemRequest &req, Tick now)
              (unsigned long long)req.paddr, req.size);
     Port &port = ports_[req.client];
     port.requests.push_back({req, now + params_.requestLatency});
-    ++port.numRequests;
-    port.numBytes += req.size;
+    ++portRequests_[req.client];
+    portBytes_[req.client] += req.size;
+    DPRINTF(now, "Bus", "%s: req client=%u %s addr=%#llx size=%u",
+            name().c_str(), req.client,
+            req.isWrite() ? "write" : "read",
+            (unsigned long long)req.paddr, req.size);
 }
 
 void
@@ -210,24 +216,43 @@ Interconnect::busy() const
 void
 Interconnect::resetStats()
 {
-    for (auto &port : ports_) {
-        port.numRequests = 0;
-        port.numBytes = 0;
+    for (auto &s : portRequests_) {
+        s.reset();
+    }
+    for (auto &s : portBytes_) {
+        s.reset();
     }
     busBusy_.reset();
     cycles_.reset();
 }
 
+void
+Interconnect::addStats(stats::Group &g) const
+{
+    g.add(&busBusy_);
+    g.add(&cycles_);
+    g.add(&throttledGrants_);
+    for (const auto &s : portRequests_) {
+        g.add(&s);
+    }
+    for (const auto &s : portBytes_) {
+        g.add(&s);
+    }
+}
+
 std::uint64_t
 Interconnect::clientRequests(unsigned client) const
 {
-    return ports_.at(client).numRequests;
+    panic_if(client >= portRequests_.size(), "unknown client %u",
+             client);
+    return portRequests_[client].value();
 }
 
 std::uint64_t
 Interconnect::clientBytes(unsigned client) const
 {
-    return ports_.at(client).numBytes;
+    panic_if(client >= portBytes_.size(), "unknown client %u", client);
+    return portBytes_[client].value();
 }
 
 const std::string &

@@ -96,6 +96,9 @@ class Interconnect : public Clocked, public MemResponder
     }
     /** @} */
 
+    /** Registers the bus statistics (incl. per-client counters). */
+    void addStats(stats::Group &g) const;
+
   private:
     struct TimedReq
     {
@@ -115,13 +118,16 @@ class Interconnect : public Clocked, public MemResponder
         const Clocked *owner = nullptr;
         std::string label;
         std::deque<TimedReq> requests;
-        std::uint64_t numRequests = 0;
-        std::uint64_t numBytes = 0;
     };
 
     InterconnectParams params_;
     MemDevice &downstream_;
     std::vector<Port> ports_;
+    /** Per-client request/byte counters; a deque keeps the Scalars'
+     *  addresses stable while clients keep registering, so telemetry
+     *  groups may hold pointers into it. */
+    std::deque<stats::Scalar> portRequests_;
+    std::deque<stats::Scalar> portBytes_;
     std::deque<TimedResp> pendingResponses_;
     unsigned rrNext_ = 0;
     double throttleTokens_ = 0.0;

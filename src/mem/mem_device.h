@@ -18,6 +18,7 @@
 
 #include "mem/request.h"
 #include "sim/clocked.h"
+#include "sim/stats.h"
 
 namespace hwgc::mem
 {
@@ -47,6 +48,9 @@ class MemDevice : public Clocked
 
     /** Resets statistics between experiment phases. */
     virtual void resetStats() = 0;
+
+    /** Registers this device's statistics into @p g (telemetry). */
+    virtual void addStats(stats::Group &g) { (void)g; }
 
     /**
      * Resets internal timing state (bank/row buffers, bus occupancy

@@ -100,6 +100,8 @@ Ptw::tick(Tick now)
         return;
     }
     ++walks_;
+    DPRINTF(now, "PTW", "%s: walk va=%#llx", name().c_str(),
+            (unsigned long long)current_.va);
     walkPlan_ = pageTable_.walk(current_.va);
     level_ = 0;
     walking_ = true;

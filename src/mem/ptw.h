@@ -81,6 +81,15 @@ class Ptw : public Clocked, public MemResponder
     std::uint64_t pteFetches() const { return pteFetches_.value(); }
     /** @} */
 
+    /** Registers the walker's statistics into @p g (telemetry). */
+    void
+    addStats(stats::Group &g) const
+    {
+        g.add(&walks_);
+        g.add(&l2Hits_);
+        g.add(&pteFetches_);
+    }
+
   private:
     struct WalkRequest
     {

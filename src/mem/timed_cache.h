@@ -87,6 +87,26 @@ class TimedCache : public Clocked, public MemResponder
     std::uint64_t writebacks() const { return writebacks_.value(); }
     /** @} */
 
+    /** Occupied MSHRs right now (telemetry counter track). */
+    unsigned
+    mshrsInUse() const
+    {
+        unsigned n = 0;
+        for (const auto &m : mshrs_) {
+            n += m.valid ? 1 : 0;
+        }
+        return n;
+    }
+
+    /** Registers the cache's statistics into @p g (telemetry). */
+    void
+    addStats(stats::Group &g) const
+    {
+        g.add(&hits_);
+        g.add(&misses_);
+        g.add(&writebacks_);
+    }
+
   private:
     struct UpstreamPort;
 

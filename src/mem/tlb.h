@@ -103,6 +103,14 @@ class TlbArray
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
 
+    /** Registers this TLB's statistics into @p g (telemetry). */
+    void
+    addStats(stats::Group &g) const
+    {
+        g.add(&hits_);
+        g.add(&misses_);
+    }
+
     void
     resetStats()
     {

@@ -44,6 +44,29 @@ enum class KernelMode
     Event, //!< Tick only due components; fast-forward idle gaps.
 };
 
+/**
+ * Passive observer of the kernel's execution, used by the telemetry
+ * layer to derive per-component activity spans and to pace interval
+ * sampling off the wakeup machinery. Observers only *read* simulator
+ * state: attaching one must never change simulated cycles or
+ * statistics (tests/test_telemetry.cc enforces this).
+ */
+class KernelObserver
+{
+  public:
+    virtual ~KernelObserver() = default;
+
+    /**
+     * One executed cycle finished. Bit i of @p active_mask is set if
+     * component i (in registration order) ticked this cycle (event
+     * kernel) or reported busy() (dense kernel).
+     */
+    virtual void cycleExecuted(Tick now, std::uint64_t active_mask) = 0;
+
+    /** Cycles [from, to) were fast-forwarded with nothing ticking. */
+    virtual void fastForwarded(Tick from, Tick to) = 0;
+};
+
 /** Base class for anything evaluated once per clock cycle. */
 class Clocked
 {
@@ -207,6 +230,22 @@ class System
     void setMode(KernelMode mode) { mode_ = mode; }
     KernelMode mode() const { return mode_; }
 
+    /**
+     * Attaches a passive execution observer (nullptr detaches). The
+     * observer is consulted only on cycles the kernel actually
+     * executes plus fast-forward jumps, so a detached observer costs
+     * one pointer compare per executed cycle and an attached one
+     * cannot perturb simulated behaviour.
+     */
+    void setObserver(KernelObserver *observer) { observer_ = observer; }
+    KernelObserver *observer() const { return observer_; }
+
+    /** Registered components, in evaluation order. */
+    const std::vector<Clocked *> &components() const
+    {
+        return components_;
+    }
+
     /** Current simulated time in cycles. */
     Tick now() const { return now_; }
 
@@ -243,8 +282,21 @@ class System
         for (auto *c : components_) {
             c->tick(now_);
         }
+        const Tick cycle = now_;
         ++now_;
         ++executedCycles_;
+        if (observer_ != nullptr) {
+            // The observer needs the full busy mask anyway, so the
+            // idle scan rides the mask-building pass.
+            std::uint64_t mask = 0;
+            for (std::size_t i = 0; i < components_.size(); ++i) {
+                if (components_[i]->busy()) {
+                    mask |= std::uint64_t(1) << i;
+                }
+            }
+            observer_->cycleExecuted(cycle, mask);
+            return mask != 0;
+        }
         for (auto *c : components_) {
             if (c->busy()) {
                 return true;
@@ -358,6 +410,7 @@ class System
             scheduled_.pop();
         }
         bool ticked = false;
+        std::uint64_t tickedMask = 0;
         Tick next = maxTick;
         for (std::size_t i = 0; i < components_.size(); ++i) {
             const std::uint64_t bit = std::uint64_t(1) << i;
@@ -375,6 +428,7 @@ class System
             if (w <= now_) {
                 components_[i]->tick(now_);
                 ticked = true;
+                tickedMask |= bit;
                 dirty_ |= succ_[i] | bit;
             } else {
                 if (components_[i]->hasFastForward()) {
@@ -383,8 +437,12 @@ class System
                 next = std::min(next, w);
             }
         }
+        const Tick cycle = now_;
         ++now_;
         ++executedCycles_;
+        if (observer_ != nullptr) {
+            observer_->cycleExecuted(cycle, tickedMask);
+        }
         if (!scheduled_.empty()) {
             next = std::min(next, scheduled_.top().first);
         }
@@ -403,6 +461,9 @@ class System
             if (c->hasFastForward()) {
                 c->fastForward(now_, target);
             }
+        }
+        if (observer_ != nullptr) {
+            observer_->fastForwarded(now_, target);
         }
         now_ = target;
     }
@@ -441,6 +502,7 @@ class System
     Tick now_ = 0;
     std::uint64_t executedCycles_ = 0;
     KernelMode mode_ = KernelMode::Event;
+    KernelObserver *observer_ = nullptr;
     std::vector<Clocked *> components_;
     std::vector<char> due_; //!< Per-component due flag (event mode).
     std::vector<Tick> wake_; //!< Cached absolute wakeups (event mode).

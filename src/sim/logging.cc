@@ -97,6 +97,49 @@ Debug::enabled(const std::string &flag)
 }
 
 void
+Debug::parseFlagList(const std::string &list)
+{
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = list.size();
+        }
+        std::string token = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        // Trim surrounding whitespace.
+        const auto begin = token.find_first_not_of(" \t");
+        if (begin == std::string::npos) {
+            continue;
+        }
+        const auto end = token.find_last_not_of(" \t");
+        token = token.substr(begin, end - begin + 1);
+        if (token[0] == '-') {
+            disable(token.substr(1));
+        } else {
+            enable(token);
+        }
+    }
+}
+
+void
+Debug::initFromEnv()
+{
+    if (const char *env = std::getenv("HWGC_DEBUG")) {
+        parseFlagList(env);
+    }
+}
+
+namespace
+{
+
+/** Applies HWGC_DEBUG before main() so DPRINTF needs no code edits. */
+[[maybe_unused]] const bool debug_env_applied =
+    (Debug::initFromEnv(), true);
+
+} // namespace
+
+void
 Debug::print(unsigned long long tick, const char *flag,
              const char *fmt, ...)
 {

@@ -54,6 +54,18 @@ class Debug
     /** Returns true if the named flag is enabled. */
     static bool enabled(const std::string &flag);
 
+    /**
+     * Parses a comma-separated flag list ("Marker,DRAM,-Bus"): a bare
+     * name enables the flag, a '-' prefix disables it. This is the
+     * HWGC_DEBUG environment-variable syntax, applied automatically at
+     * process startup so tracing needs no code edits; callers may also
+     * invoke it directly (the --debug-flags= CLI path).
+     */
+    static void parseFlagList(const std::string &list);
+
+    /** Applies the HWGC_DEBUG environment variable (idempotent). */
+    static void initFromEnv();
+
     /** True if any flag at all is enabled (hot-path guard). */
     static bool anyEnabled() { return anyEnabled_; }
 

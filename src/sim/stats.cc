@@ -5,6 +5,7 @@
 
 #include "stats.h"
 
+#include <algorithm>
 #include <iomanip>
 
 namespace hwgc::stats
@@ -36,6 +37,22 @@ Group::dump(std::ostream &os) const
            << h->minValue() << "\n";
         os << std::left << std::setw(40) << (h->name() + "::max") << " "
            << h->maxValue() << "\n";
+    }
+    for (const auto *t : timeSeries_) {
+        std::uint64_t total = 0;
+        std::uint64_t peak = 0;
+        for (const auto v : t->buckets()) {
+            total += v;
+            peak = std::max(peak, v);
+        }
+        os << std::left << std::setw(40) << (t->name() + "::bucketWidth")
+           << " " << t->bucketWidth() << "\n";
+        os << std::left << std::setw(40) << (t->name() + "::buckets")
+           << " " << t->buckets().size() << "\n";
+        os << std::left << std::setw(40) << (t->name() + "::total") << " "
+           << total << "\n";
+        os << std::left << std::setw(40) << (t->name() + "::peak") << " "
+           << peak << "\n";
     }
 }
 

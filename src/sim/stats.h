@@ -176,7 +176,9 @@ class TimeSeries
 
 /**
  * A registry of statistics owned by one component; purely a dumping
- * convenience. Pointers must outlive the group.
+ * convenience. Pointers must outlive the group. Groups register into
+ * the process-wide telemetry::StatsRegistry under dotted paths so the
+ * JSON exporter can reach every component (see sim/telemetry.h).
  */
 class Group
 {
@@ -186,17 +188,32 @@ class Group
     void add(const Scalar *s) { scalars_.push_back(s); }
     void add(const Vector *v) { vectors_.push_back(v); }
     void add(const Histogram *h) { histograms_.push_back(h); }
+    void add(const TimeSeries *t) { timeSeries_.push_back(t); }
 
     /** Writes a human-readable listing of all registered stats. */
     void dump(std::ostream &os) const;
 
     const std::string &name() const { return name_; }
 
+    /** @name Introspection (telemetry exporters) @{ */
+    const std::vector<const Scalar *> &scalars() const { return scalars_; }
+    const std::vector<const Vector *> &vectors() const { return vectors_; }
+    const std::vector<const Histogram *> &histograms() const
+    {
+        return histograms_;
+    }
+    const std::vector<const TimeSeries *> &timeSeries() const
+    {
+        return timeSeries_;
+    }
+    /** @} */
+
   private:
     std::string name_;
     std::vector<const Scalar *> scalars_;
     std::vector<const Vector *> vectors_;
     std::vector<const Histogram *> histograms_;
+    std::vector<const TimeSeries *> timeSeries_;
 };
 
 } // namespace hwgc::stats
