@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/hwgc_device.h"
@@ -139,13 +140,17 @@ BM_MarkQueueOnChip(benchmark::State &state)
 BENCHMARK(BM_MarkQueueOnChip);
 
 /**
- * Device-level kernel A/B: run the same full GC pause under the dense
- * and the event kernel, timing host wall-clock of the simulation
- * only (heap and graph construction excluded). The event kernel must
- * deliver the same simulated cycle count at >= 3x the host speed.
+ * Device-level kernel A/B/C: run the same full GC pause under the
+ * dense, event and parallel kernels, timing host wall-clock of the
+ * simulation only (heap and graph construction excluded). All kernels
+ * must deliver the same simulated cycle count; the event kernel must
+ * beat dense and the parallel kernel reports its speedup over event.
+ * @p include_dense skips the (slow) dense reference for the
+ * large-heap configuration, where the event kernel is the baseline.
  */
 double
-runKernelAb(const char *label, const workload::GraphParams &graph)
+runKernelAb(const char *label, const workload::GraphParams &graph,
+            bool include_dense = true, unsigned parallel_threads = 4)
 {
     struct Run
     {
@@ -154,7 +159,7 @@ runKernelAb(const char *label, const workload::GraphParams &graph)
         std::uint64_t executed = 0;
         std::uint64_t marked = 0;
     };
-    auto run_one = [&graph](KernelMode kernel) {
+    auto run_one = [&graph](KernelMode kernel, unsigned threads) {
         mem::PhysMem mem;
         runtime::Heap heap(mem);
         workload::GraphBuilder builder(heap, graph);
@@ -163,6 +168,7 @@ runKernelAb(const char *label, const workload::GraphParams &graph)
         heap.publishRoots();
         core::HwgcConfig config;
         config.kernel = kernel;
+        config.hostThreads = threads;
         core::HwgcDevice device(mem, heap.pageTable(), config);
         device.configure(heap);
         bench::HostTimer timer;
@@ -176,42 +182,67 @@ runKernelAb(const char *label, const workload::GraphParams &graph)
     };
     // Best of three per kernel: each run rebuilds an identical heap,
     // so sim results are deterministic and only host time varies.
-    auto best_of = [&run_one](KernelMode kernel) {
-        Run best = run_one(kernel);
+    auto best_of = [&run_one](KernelMode kernel, unsigned threads = 0) {
+        Run best = run_one(kernel, threads);
         for (int i = 0; i < 2; ++i) {
-            const Run r = run_one(kernel);
+            const Run r = run_one(kernel, threads);
             if (r.hostSeconds < best.hostSeconds) {
                 best = r;
             }
         }
         return best;
     };
+    auto check_same = [](const char *label_a, const Run &a,
+                         const char *label_b, const Run &b) {
+        if (a.simCycles != b.simCycles || a.marked != b.marked) {
+            std::fprintf(stderr,
+                         "kernel A/B diverged: %s %llu cycles / %llu "
+                         "marked, %s %llu cycles / %llu marked\n",
+                         label_a, (unsigned long long)a.simCycles,
+                         (unsigned long long)a.marked, label_b,
+                         (unsigned long long)b.simCycles,
+                         (unsigned long long)b.marked);
+            std::exit(1);
+        }
+    };
 
-    const Run dense = best_of(KernelMode::Dense);
     const Run event = best_of(KernelMode::Event);
-    if (dense.simCycles != event.simCycles ||
-        dense.marked != event.marked) {
-        std::fprintf(stderr,
-                     "kernel A/B diverged: dense %llu cycles / %llu "
-                     "marked, event %llu cycles / %llu marked\n",
-                     (unsigned long long)dense.simCycles,
-                     (unsigned long long)dense.marked,
-                     (unsigned long long)event.simCycles,
-                     (unsigned long long)event.marked);
-        std::exit(1);
+    // parallel@1 runs every partition inline on the commit thread:
+    // it isolates the kernel's intrinsic overhead (staging + commit
+    // replay) from the cross-thread handshake, and is the honest
+    // number on hosts without spare cores.
+    const Run parallel1 = best_of(KernelMode::ParallelBsp, 1);
+    const Run parallel =
+        best_of(KernelMode::ParallelBsp, parallel_threads);
+    check_same("event", event, "parallel", parallel);
+    check_same("parallel-1", parallel1, "parallel", parallel);
+    if (include_dense) {
+        const Run dense = best_of(KernelMode::Dense);
+        check_same("dense", dense, "event", event);
+        bench::printKernelSpeed(label, "dense", dense.hostSeconds,
+                                double(dense.simCycles));
+        const double speedup = dense.hostSeconds / event.hostSeconds;
+        std::printf("%s: event-kernel host speedup %.2fx "
+                    "(evaluated %llu of %llu cycles, %.1f%%)\n",
+                    label, speedup, (unsigned long long)event.executed,
+                    (unsigned long long)dense.executed,
+                    100.0 * double(event.executed) /
+                        double(dense.executed));
     }
-    bench::printKernelSpeed(label, "dense", dense.hostSeconds,
-                            double(dense.simCycles));
     bench::printKernelSpeed(label, "event", event.hostSeconds,
                             double(event.simCycles));
-    const double speedup = dense.hostSeconds / event.hostSeconds;
-    std::printf("%s: event-kernel host speedup %.2fx "
-                "(evaluated %llu of %llu cycles, %.1f%%)\n",
-                label, speedup, (unsigned long long)event.executed,
-                (unsigned long long)dense.executed,
-                100.0 * double(event.executed) /
-                    double(dense.executed));
-    return speedup;
+    bench::printKernelSpeed(label, "parallel", parallel1.hostSeconds,
+                            double(parallel1.simCycles), 1);
+    bench::printKernelSpeed(label, "parallel", parallel.hostSeconds,
+                            double(parallel.simCycles),
+                            parallel_threads);
+    const double par_speedup = event.hostSeconds / parallel.hostSeconds;
+    std::printf("%s: parallel-kernel host speedup vs event: %.2fx at "
+                "1 thread, %.2fx at %u threads (%u host cores)\n",
+                label, event.hostSeconds / parallel1.hostSeconds,
+                par_speedup, parallel_threads,
+                std::thread::hardware_concurrency());
+    return par_speedup;
 }
 
 void
@@ -243,6 +274,18 @@ runKernelAbSuite()
     wide.numRoots = 32;
     wide.seed = 13;
     runKernelAb("bench_micro/throughput", wide);
+
+    // Large heap: the parallel kernel's target shape — enough live
+    // work per simulated cycle that the per-cycle fan-out/join cost
+    // amortizes. Dense would dominate the wall clock here, so the
+    // event kernel is the baseline.
+    workload::GraphParams large;
+    large.liveObjects = 120000;
+    large.garbageObjects = 60000;
+    large.numRoots = 64;
+    large.seed = 29;
+    runKernelAb("bench_micro/large-heap", large,
+                /*include_dense=*/false);
 }
 
 } // namespace

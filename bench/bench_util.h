@@ -76,17 +76,22 @@ class HostTimer
  * Emits one JSON line of simulation-speed reporting — host wall-clock
  * and simulated-cycles-per-host-second (MIPS-style) — so the perf
  * trajectory (BENCH_*.json) can track kernel speed across PRs.
+ * @p host_threads is the worker count the kernel ran with (1 for the
+ * single-threaded dense/event kernels).
  */
 inline void
 printKernelSpeed(const char *bench, const char *kernel,
-                 double host_seconds, double sim_cycles)
+                 double host_seconds, double sim_cycles,
+                 unsigned host_threads = 1)
 {
     const double rate =
         host_seconds > 0.0 ? sim_cycles / host_seconds : 0.0;
     std::printf("{\"bench\":\"%s\",\"kernel\":\"%s\","
+                "\"host_threads\":%u,"
                 "\"host_seconds\":%.6f,\"sim_cycles\":%.0f,"
                 "\"cycles_per_host_second\":%.0f}\n",
-                bench, kernel, host_seconds, sim_cycles, rate);
+                bench, kernel, host_threads, host_seconds, sim_cycles,
+                rate);
 }
 
 /** Prints one row of a two-column-per-engine table. */

@@ -12,6 +12,8 @@
 #ifndef HWGC_CORE_HWGC_CONFIG_H
 #define HWGC_CORE_HWGC_CONFIG_H
 
+#include <string>
+
 #include "mem/dram.h"
 #include "mem/ideal_mem.h"
 #include "mem/ptw.h"
@@ -88,8 +90,30 @@ struct HwgcConfig
      * Simulation kernel driving the device's System. Event mode skips
      * idle cycles and is cycle-exact with Dense (test_event_kernel
      * asserts this); Dense remains as the reference for A/B runs.
+     * ParallelBsp keeps the event semantics but evaluates component
+     * partitions on host worker threads (bit-identical to both,
+     * tests/test_determinism.cc asserts the full matrix).
      */
     KernelMode kernel = KernelMode::Event;
+
+    /**
+     * ParallelBsp host worker threads. 0 defers to the
+     * --host-threads= flag / HWGC_HOST_THREADS, and failing those one
+     * thread per hardware core. Simulated results are bit-identical
+     * for every value; only host wall-clock changes.
+     */
+    unsigned hostThreads = 0;
+
+    /**
+     * ParallelBsp partition override: "name=P[,name=P...]" over the
+     * registered component names (e.g. "bus=0,dram=0" to co-locate
+     * the memory side with the traversal unit). Empty defers to
+     * --host-partition= / HWGC_HOST_PARTITION, and failing those the
+     * built-in affinity heuristic (units=0, bus=1, memory=2). The
+     * device enforces that every traversal-side component stays in
+     * one partition — those are same-cycle coupled and may not split.
+     */
+    std::string hostPartition;
 };
 
 } // namespace hwgc::core

@@ -5,6 +5,8 @@
 
 #include "hwgc_device.h"
 
+#include <cstdlib>
+
 #include "runtime/heap_layout.h"
 
 namespace hwgc::core
@@ -189,7 +191,93 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
     system_.declareWakeupInputs(bus_.get(), {memory_.get()});
     system_.declareWakeupInputs(memory_.get(), {});
 
+    if (config_.kernel == KernelMode::ParallelBsp) {
+        configurePartitions();
+    }
+
     registerTelemetry();
+}
+
+void
+HwgcDevice::configurePartitions()
+{
+    // Affinity heuristic (DESIGN.md §8): the traversal/reclamation
+    // units plus the PTW and unit-side caches are same-cycle coupled
+    // (queue handoffs, walk callbacks, synchronous cache lookups) and
+    // share partition 0; the bus and the memory device each get their
+    // own — every interaction crossing those two boundaries is
+    // latched by at least one cycle of request/response latency.
+    system_.setPartition(bus_.get(), 1);
+    system_.setPartition(memory_.get(), 2);
+
+    std::string spec = config_.hostPartition;
+    if (spec.empty()) {
+        spec = telemetry::options().hostPartition;
+    }
+    if (spec.empty()) {
+        // Direct env fallback so binaries that never construct a
+        // telemetry::Session (the gtest suites under CI's
+        // HWGC_HOST_THREADS=4 runs) still honor the variables.
+        if (const char *env = std::getenv("HWGC_HOST_PARTITION")) {
+            spec = env;
+        }
+    }
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        const std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty()) {
+            continue;
+        }
+        const std::size_t eq = item.find('=');
+        panic_if(eq == std::string::npos || eq == 0,
+                 "--host-partition: '%s' is not name=partition",
+                 item.c_str());
+        const std::string name = item.substr(0, eq);
+        const unsigned part =
+            unsigned(std::strtoul(item.c_str() + eq + 1, nullptr, 10));
+        Clocked *target = nullptr;
+        for (Clocked *c : system_.components()) {
+            if (c->name() == name) {
+                target = c;
+                break;
+            }
+        }
+        panic_if(target == nullptr,
+                 "--host-partition: unknown component '%s'",
+                 name.c_str());
+        system_.setPartition(target, part);
+    }
+
+    // Cohesion: only the bus and the memory device may leave the
+    // traversal partition — everything else exchanges same-cycle
+    // state (queue handoffs, walk callbacks, cache lookups) that the
+    // BSP evaluate phase cannot split across threads.
+    const unsigned unitPart = system_.partitionOf(*rootReader_);
+    for (const Clocked *c : system_.components()) {
+        if (c == static_cast<const Clocked *>(bus_.get()) ||
+            c == static_cast<const Clocked *>(memory_.get())) {
+            continue;
+        }
+        panic_if(system_.partitionOf(*c) != unitPart,
+                 "--host-partition: '%s' cannot leave the traversal "
+                 "partition (same-cycle coupled)", c->name().c_str());
+    }
+
+    unsigned threads = config_.hostThreads;
+    if (threads == 0) {
+        threads = telemetry::options().hostThreads;
+    }
+    if (threads == 0) {
+        if (const char *env = std::getenv("HWGC_HOST_THREADS")) {
+            threads = unsigned(std::strtoul(env, nullptr, 10));
+        }
+    }
+    system_.setHostThreads(threads);
 }
 
 void

@@ -154,6 +154,10 @@ class HwgcDevice
      *  attaches the kernel observer when telemetry is active. */
     void registerTelemetry();
 
+    /** ParallelBsp wiring: affinity partitions, --host-partition=
+     *  override, cohesion validation, worker-thread resolution. */
+    void configurePartitions();
+
     std::string statsPrefix_;
     std::vector<std::unique_ptr<stats::Group>> statGroups_;
     std::vector<std::string> statPaths_;

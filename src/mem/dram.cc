@@ -17,6 +17,7 @@ Dram::Dram(std::string name, const DramParams &params, PhysMem &mem)
 {
     panic_if(params_.banks == 0, "DRAM needs at least one bank");
     panic_if(params_.busBytesPerCycle <= 0.0, "bad bus bandwidth");
+    hasBspHooks_ = true; // Deliveries are staged in ParallelBsp mode.
 }
 
 unsigned
@@ -40,9 +41,24 @@ Dram::canAccept(const MemRequest &req) const
     return readsInFlight_ < params_.maxReads;
 }
 
+bool
+Dram::canAcceptBsp(const MemRequest &req, unsigned pendingReads,
+                   unsigned pendingWrites) const
+{
+    if (req.isWrite()) {
+        return writesInFlight_ + pendingWrites < params_.maxWrites;
+    }
+    return readsInFlight_ + pendingReads < params_.maxReads;
+}
+
 void
 Dram::sendRequest(const MemRequest &req, Tick now)
 {
+    // In ParallelBsp mode requests arrive at commit, *after* this
+    // cycle's tick ran — a zero-latency frontend would let the dense
+    // kernel issue them one cycle earlier.
+    panic_if(inBspSystem() && params_.frontendLatency == 0,
+             "ParallelBsp requires DRAM frontendLatency >= 1");
     pokeWakeup(); // The new entry changes the earliest issue time.
     panic_if(!canAccept(req), "DRAM overflow: in-flight limit exceeded");
     DPRINTF(now, "DRAM", "%s: %s addr=%#llx size=%u", name().c_str(),
@@ -173,10 +189,18 @@ Dram::tick(Tick now)
         }
     }
 
-    // Deliver due responses.
+    // Deliver due responses. During a ParallelBsp evaluate phase the
+    // delivery's side effects leave this partition (PhysMem access,
+    // in-flight counters the bus polls, the upstream onResponse), so
+    // only the queue pop happens here and the rest is staged.
+    const bool staging = bspStagingActive();
     while (!completions_.empty() && completions_.top().at <= now) {
         const Completion c = completions_.top();
         completions_.pop();
+        if (staging) {
+            stagedDeliveries_.push_back(c.req);
+            continue;
+        }
         MemResponse resp;
         resp.req = c.req;
         resp.completed = now;
@@ -193,6 +217,29 @@ Dram::tick(Tick now)
         panic_if(responder_ == nullptr, "DRAM has no responder");
         responder_->onResponse(resp, now);
     }
+}
+
+void
+Dram::bspCommit(Tick now)
+{
+    for (const MemRequest &req : stagedDeliveries_) {
+        MemResponse resp;
+        resp.req = req;
+        resp.completed = now;
+        if (!req.timingOnly) {
+            mem_.execute(req, resp.rdata);
+        }
+        if (req.isWrite()) {
+            panic_if(writesInFlight_ == 0, "write in-flight underflow");
+            --writesInFlight_;
+        } else {
+            panic_if(readsInFlight_ == 0, "read in-flight underflow");
+            --readsInFlight_;
+        }
+        panic_if(responder_ == nullptr, "DRAM has no responder");
+        responder_->onResponse(resp, now);
+    }
+    stagedDeliveries_.clear();
 }
 
 bool

@@ -67,6 +67,8 @@ class Dram : public MemDevice
 
     // MemDevice interface.
     bool canAccept(const MemRequest &req) const override;
+    bool canAcceptBsp(const MemRequest &req, unsigned pendingReads,
+                      unsigned pendingWrites) const override;
     void sendRequest(const MemRequest &req, Tick now) override;
     Tick accessAtomic(const MemRequest &req, Tick now,
                       std::array<Word, maxReqWords> &rdata) override;
@@ -77,6 +79,14 @@ class Dram : public MemDevice
     void tick(Tick now) override;
     bool busy() const override;
     Tick nextWakeup(Tick now) const override;
+
+    /**
+     * ParallelBsp: applies the completions this cycle's tick retired.
+     * The functional PhysMem access, the in-flight decrement and the
+     * upstream onResponse all cross partition boundaries, so the tick
+     * stages them and they run here, on the commit thread.
+     */
+    void bspCommit(Tick now) override;
 
     /** Resets bank/row-buffer state (between experiment phases). */
     void resetBankState();
@@ -169,6 +179,10 @@ class Dram : public MemDevice
     unsigned writesInFlight_ = 0;
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>> completions_;
+
+    /** Completions retired during a ParallelBsp evaluate tick, in
+     *  pop order; applied and delivered at bspCommit(). */
+    std::vector<MemRequest> stagedDeliveries_;
 
     stats::Scalar numReads_{"numReads"};
     stats::Scalar numWrites_{"numWrites"};

@@ -15,12 +15,21 @@ IdealMem::IdealMem(std::string name, const IdealMemParams &params,
     : MemDevice(std::move(name)), params_(params), mem_(mem),
       bandwidth_("bandwidth", params.bandwidthBucket)
 {
+    hasBspHooks_ = true; // Deliveries are staged in ParallelBsp mode.
 }
 
 bool
 IdealMem::canAccept(const MemRequest &) const
 {
     return inFlight_ < params_.maxInFlight;
+}
+
+bool
+IdealMem::canAcceptBsp(const MemRequest &, unsigned pendingReads,
+                       unsigned pendingWrites) const
+{
+    return inFlight_ + pendingReads + pendingWrites <
+           params_.maxInFlight;
 }
 
 Tick
@@ -48,9 +57,17 @@ IdealMem::sendRequest(const MemRequest &req, Tick now)
 void
 IdealMem::tick(Tick now)
 {
+    // Delivery side effects cross partition boundaries in ParallelBsp
+    // mode (PhysMem access, the in-flight counter the bus polls, the
+    // upstream onResponse): stage them for bspCommit().
+    const bool staging = bspStagingActive();
     while (!completions_.empty() && completions_.top().at <= now) {
         const Completion c = completions_.top();
         completions_.pop();
+        if (staging) {
+            stagedDeliveries_.push_back(c.req);
+            continue;
+        }
         MemResponse resp;
         resp.req = c.req;
         resp.completed = now;
@@ -62,6 +79,24 @@ IdealMem::tick(Tick now)
         panic_if(responder_ == nullptr, "IdealMem has no responder");
         responder_->onResponse(resp, now);
     }
+}
+
+void
+IdealMem::bspCommit(Tick now)
+{
+    for (const MemRequest &req : stagedDeliveries_) {
+        MemResponse resp;
+        resp.req = req;
+        resp.completed = now;
+        if (!req.timingOnly) {
+            mem_.execute(req, resp.rdata);
+        }
+        panic_if(inFlight_ == 0, "in-flight underflow");
+        --inFlight_;
+        panic_if(responder_ == nullptr, "IdealMem has no responder");
+        responder_->onResponse(resp, now);
+    }
+    stagedDeliveries_.clear();
 }
 
 bool

@@ -46,6 +46,8 @@ class IdealMem : public MemDevice
              PhysMem &mem);
 
     bool canAccept(const MemRequest &req) const override;
+    bool canAcceptBsp(const MemRequest &req, unsigned pendingReads,
+                      unsigned pendingWrites) const override;
     void sendRequest(const MemRequest &req, Tick now) override;
     Tick accessAtomic(const MemRequest &req, Tick now,
                       std::array<Word, maxReqWords> &rdata) override;
@@ -54,6 +56,10 @@ class IdealMem : public MemDevice
 
     void tick(Tick now) override;
     bool busy() const override;
+
+    /** ParallelBsp: applies deliveries staged by this cycle's tick
+     *  (same scheme as Dram::bspCommit, see there). */
+    void bspCommit(Tick now) override;
 
     Tick
     nextWakeup(Tick) const override
@@ -91,6 +97,9 @@ class IdealMem : public MemDevice
     unsigned inFlight_ = 0;
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>> completions_;
+
+    /** Completions retired during a ParallelBsp evaluate tick. */
+    std::vector<MemRequest> stagedDeliveries_;
 
     stats::Scalar numRequests_{"numRequests"};
     stats::Scalar bytesMoved_{"bytesMoved"};

@@ -16,6 +16,7 @@ Interconnect::Interconnect(std::string name,
     : Clocked(std::move(name)), params_(params), downstream_(downstream)
 {
     hasFastForward_ = true; // Per-elapsed-cycle counter and tokens.
+    hasBspHooks_ = true;    // All boundary traffic is staged.
     downstream_.setResponder(this);
 }
 
@@ -28,6 +29,8 @@ Interconnect::registerClient(MemResponder *responder, std::string label)
     ports_.push_back(std::move(port));
     portRequests_.emplace_back("requests::" + ports_.back().label);
     portBytes_.emplace_back("bytes::" + ports_.back().label);
+    stagedSendCount_.push_back(0);
+    publishedSize_.push_back(0);
     return unsigned(ports_.size() - 1);
 }
 
@@ -49,6 +52,15 @@ bool
 Interconnect::canAccept(unsigned client) const
 {
     panic_if(client >= ports_.size(), "unknown client %u", client);
+    if (bspStagingActive()) {
+        // Clients run in another partition than the bus, so they see
+        // the queue as of the last commit plus their own staged sends
+        // — exactly the occupancy the dense kernel's same-cycle check
+        // would see (this cycle's grants only shrink the queue, and a
+        // grant can never take a request sent this same cycle).
+        return publishedSize_[client] + stagedSendCount_[client] <
+               params_.clientQueueDepth;
+    }
     return ports_[client].requests.size() < params_.clientQueueDepth;
 }
 
@@ -63,6 +75,16 @@ Interconnect::sendRequest(const MemRequest &req, Tick now)
     panic_if(!validTransfer(req.paddr, req.size),
              "client %u: invalid transfer addr=%#llx size=%u", req.client,
              (unsigned long long)req.paddr, req.size);
+    if (bspStagingActive()) {
+        // The sender and the bus are in different partitions: record
+        // the send for replay at commit, where it enters the queue at
+        // the position and timestamp the dense kernel would have used.
+        panic_if(params_.requestLatency == 0,
+                 "ParallelBsp requires bus requestLatency >= 1");
+        stagedSends_.push_back({req, now});
+        ++stagedSendCount_[req.client];
+        return;
+    }
     Port &port = ports_[req.client];
     port.requests.push_back({req, now + params_.requestLatency});
     ++portRequests_[req.client];
@@ -95,7 +117,12 @@ Interconnect::tick(Tick now)
             4.0 * double(lineBytes));
     }
 
-    // Round-robin grant of up to grantsPerCycle requests.
+    // Round-robin grant of up to grantsPerCycle requests. While
+    // staging (ParallelBsp evaluate), the grant *decisions* are made
+    // here with the admission check counting the grants already
+    // staged this tick, but the sends into the memory device and the
+    // owner pokes are deferred to bspCommit().
+    const bool staging = bspStagingActive();
     unsigned granted = 0;
     const unsigned n = unsigned(ports_.size());
     for (unsigned i = 0; i < n && granted < params_.grantsPerCycle; ++i) {
@@ -106,7 +133,9 @@ Interconnect::tick(Tick now)
             continue;
         }
         const MemRequest &req = port.requests.front().req;
-        if (!downstream_.canAccept(req)) {
+        if (staging ? !downstream_.canAcceptBsp(req, stagedMemReads_,
+                                                stagedMemWrites_)
+                    : !downstream_.canAccept(req)) {
             continue;
         }
         // Budget real DRAM bandwidth: a sub-line request still costs
@@ -121,7 +150,16 @@ Interconnect::tick(Tick now)
         if (params_.throttleBytesPerCycle > 0.0) {
             throttleTokens_ -= cost;
         }
-        downstream_.sendRequest(req, now);
+        if (staging) {
+            stagedGrants_.push_back({req, now});
+            if (req.isWrite()) {
+                ++stagedMemWrites_;
+            } else {
+                ++stagedMemReads_;
+            }
+        } else {
+            downstream_.sendRequest(req, now);
+        }
         port.requests.pop_front();
         if (port.owner != nullptr) {
             pokeWakeup(*port.owner); // canAccept() just rose.
@@ -131,11 +169,18 @@ Interconnect::tick(Tick now)
         rrNext_ = (idx + 1) % n;
     }
 
-    // Deliver due responses (in arrival order).
+    // Deliver due responses (in arrival order). While staging, the
+    // handlers run at commit — they mutate client-partition state and
+    // may immediately send new requests.
     while (!pendingResponses_.empty() &&
            pendingResponses_.front().readyAt <= now) {
         const MemResponse resp = pendingResponses_.front().resp;
         pendingResponses_.pop_front();
+        if (staging) {
+            stagedDeliveries_.push_back(resp);
+            moved = true;
+            continue;
+        }
         Port &port = ports_[resp.req.client];
         if (port.responder != nullptr) {
             port.responder->onResponse(resp, now);
@@ -196,6 +241,51 @@ Interconnect::fastForward(Tick from, Tick to)
             throttleTokens_ +
                 double(to - from) * params_.throttleBytesPerCycle,
             4.0 * double(lineBytes));
+    }
+}
+
+void
+Interconnect::bspCommit(Tick now)
+{
+    // 1. Client sends: in the dense cycle these ran during the client
+    //    ticks, before the bus ticked. Replaying them through the
+    //    live sendRequest reproduces queue positions, timestamps and
+    //    per-client statistics exactly (this cycle's grants already
+    //    popped, but a grant can never take a same-cycle send, so the
+    //    final queue content is order-independent).
+    for (const StagedReq &s : stagedSends_) {
+        sendRequest(s.req, s.at);
+    }
+    stagedSends_.clear();
+    std::fill(stagedSendCount_.begin(), stagedSendCount_.end(), 0u);
+
+    // 2. Grants decided by this cycle's tick, in grant order.
+    for (const StagedReq &g : stagedGrants_) {
+        downstream_.sendRequest(g.req, g.at);
+    }
+    stagedGrants_.clear();
+    stagedMemReads_ = 0;
+    stagedMemWrites_ = 0;
+
+    // 3. Response deliveries, in arrival order. Handlers may send new
+    //    requests live from here — they land after the replayed
+    //    sends, just as they would during the dense bus tick.
+    for (const MemResponse &resp : stagedDeliveries_) {
+        Port &port = ports_[resp.req.client];
+        if (port.responder != nullptr) {
+            port.responder->onResponse(resp, now);
+        }
+    }
+    stagedDeliveries_.clear();
+}
+
+void
+Interconnect::bspPublish()
+{
+    // End-of-cycle queue occupancy, read by client partitions' staged
+    // canAccept() checks throughout the next evaluate phase.
+    for (std::size_t i = 0; i < ports_.size(); ++i) {
+        publishedSize_[i] = unsigned(ports_[i].requests.size());
     }
 }
 

@@ -81,6 +81,16 @@ class Interconnect : public Clocked, public MemResponder
     Tick nextWakeup(Tick now) const override;
     void fastForward(Tick from, Tick to) override;
 
+    // ParallelBsp staging (see DESIGN.md §8). During the evaluate
+    // phase the bus runs in its own partition, so every boundary
+    // crossing is staged and replayed here in the dense kernel's
+    // intra-cycle order: client sends (which preceded the bus tick),
+    // then grants into the memory device, then response deliveries
+    // (whose handlers may immediately send live — landing after the
+    // replayed sends, exactly as in the dense cycle).
+    void bspCommit(Tick now) override;
+    void bspPublish() override;
+
     void resetStats();
 
     /** @name Statistics @{ */
@@ -120,9 +130,26 @@ class Interconnect : public Clocked, public MemResponder
         std::deque<TimedReq> requests;
     };
 
+    /** A send or grant captured during a ParallelBsp evaluate phase. */
+    struct StagedReq
+    {
+        MemRequest req;
+        Tick at;
+    };
+
     InterconnectParams params_;
     MemDevice &downstream_;
     std::vector<Port> ports_;
+
+    /** @name ParallelBsp staging state (empty outside evaluate) @{ */
+    std::vector<StagedReq> stagedSends_;   //!< Client -> bus.
+    std::vector<StagedReq> stagedGrants_;  //!< Bus -> memory.
+    std::vector<MemResponse> stagedDeliveries_; //!< Bus -> client.
+    std::vector<unsigned> stagedSendCount_; //!< Per-client staged sends.
+    std::vector<unsigned> publishedSize_; //!< Last-commit queue sizes.
+    unsigned stagedMemReads_ = 0;  //!< Reads granted this evaluate.
+    unsigned stagedMemWrites_ = 0; //!< Writes granted this evaluate.
+    /** @} */
     /** Per-client request/byte counters; a deque keeps the Scalars'
      *  addresses stable while clients keep registering, so telemetry
      *  groups may hold pointers into it. */

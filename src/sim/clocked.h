@@ -4,7 +4,7 @@
  *
  * All timing models are Clocked components registered with a System.
  * One cycle of simulated time is one core clock at 1 GHz (paper
- * Table I). The System runs in one of two kernel modes:
+ * Table I). The System runs in one of three kernel modes:
  *
  *  - Dense: the reference kernel. Every component is ticked on every
  *    cycle, exactly like real hardware clocks every flop.
@@ -13,17 +13,27 @@
  *    (nextWakeup), the System ticks only the components that are due,
  *    and when nothing is due it fast-forwards the clock straight to
  *    the earliest pending wakeup instead of stepping through the gap.
+ *  - ParallelBsp: the host-parallel kernel. Components are statically
+ *    partitioned across host worker threads; each simulated cycle is
+ *    a parallel evaluate phase (every due partition replays the event
+ *    kernel's at-turn pass against last-cycle cross-partition state)
+ *    followed by a serial commit phase that drains inter-partition
+ *    port traffic in registration order (see DESIGN.md §8).
  *
- * The two modes are cycle-exact equivalents as long as every
+ * The three modes are cycle-exact equivalents as long as every
  * component honours the wakeup contract documented on
- * Clocked::nextWakeup (see DESIGN.md, "Simulation kernel").
+ * Clocked::nextWakeup, and — for ParallelBsp — the partitioning rules
+ * documented on System::setPartition (see DESIGN.md, "Simulation
+ * kernel" and "Parallel host execution").
  */
 
 #ifndef HWGC_SIM_CLOCKED_H
 #define HWGC_SIM_CLOCKED_H
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <utility>
@@ -36,12 +46,27 @@ namespace hwgc
 {
 
 class System;
+class ParallelKernel;
+
+namespace detail
+{
+/**
+ * During a ParallelBsp evaluate phase every worker thread (including
+ * the commit thread when it runs a partition inline) redirects
+ * System::poke() into its partition-local dirty mask through this
+ * pointer, so same-partition pokes stay visible at-turn while
+ * cross-partition pokes merge deterministically at commit. Defined in
+ * parallel_kernel.cc; null outside an evaluate pass.
+ */
+extern thread_local std::uint64_t *bspPokeMask;
+} // namespace detail
 
 /** Kernel selection for System (see file header). */
 enum class KernelMode
 {
     Dense, //!< Tick every component every cycle (reference kernel).
     Event, //!< Tick only due components; fast-forward idle gaps.
+    ParallelBsp, //!< Event semantics, partitions ticked in parallel.
 };
 
 /**
@@ -133,6 +158,31 @@ class Clocked
     /** Whether fastForward() is overridden and must be called. */
     bool hasFastForward() const { return hasFastForward_; }
 
+    /**
+     * ParallelBsp commit hook, called serially on every component (in
+     * registration order) after the parallel evaluate phase of each
+     * executed cycle. A component that exchanges same-cycle traffic
+     * across partition boundaries stages it during the evaluate phase
+     * (see bspStagingActive()) and applies it here, reproducing
+     * exactly the intra-cycle order the dense kernel would have used.
+     * An overrider MUST set hasBspHooks_ in its constructor — the
+     * kernel skips the virtual call for everyone else.
+     */
+    virtual void bspCommit(Tick now) { (void)now; }
+
+    /**
+     * Second serial ParallelBsp pass, after every component's
+     * bspCommit() ran: publish end-of-cycle snapshots of state that
+     * other partitions read concurrently next cycle (queue occupancy
+     * for backpressure checks). Split from bspCommit() because commit
+     * handlers of later components may still push traffic into this
+     * one. Gated by the same hasBspHooks_ flag.
+     */
+    virtual void bspPublish() {}
+
+    /** Whether bspCommit()/bspPublish() are overridden. */
+    bool hasBspHooks() const { return hasBspHooks_; }
+
     const std::string &name() const { return name_; }
 
   protected:
@@ -157,8 +207,30 @@ class Clocked
      */
     void pokeWakeup(const Clocked &other);
 
+    /**
+     * True while the owning System is inside a ParallelBsp evaluate
+     * phase: externally callable entry points that carry traffic
+     * across partition boundaries (sendRequest, onResponse) must then
+     * stage it for bspCommit() instead of applying it live, and
+     * backpressure queries must answer from the last bspPublish()
+     * snapshot plus the caller's own staged traffic. Always false in
+     * the dense and event kernels and during serial phases, so the
+     * live paths stay byte-for-byte untouched.
+     */
+    bool bspStagingActive() const;
+
+    /**
+     * True when registered with a System in ParallelBsp mode (any
+     * phase). For validating mode-specific configuration constraints
+     * from entry points (e.g. minimum cross-partition latencies).
+     */
+    bool inBspSystem() const;
+
     /** Set by subclasses that override fastForward() (see above). */
     bool hasFastForward_ = false;
+
+    /** Set by subclasses that override bspCommit()/bspPublish(). */
+    bool hasBspHooks_ = false;
 
   private:
     std::string name_;
@@ -173,8 +245,13 @@ class Clocked
  */
 class System
 {
+    friend class ParallelKernel;
+
   public:
-    System() = default;
+    // Both out of line (parallel_kernel.cc): the unique_ptr to the
+    // ParallelBsp worker pool needs the complete type to destroy.
+    System();
+    ~System();
 
     /** Registers a component; evaluation order is registration order. */
     void
@@ -185,13 +262,64 @@ class System
                  "System supports at most 64 components");
         panic_if(c->system_ != nullptr,
                  "component '%s' already registered", c->name().c_str());
+        panic_if(bsp_ != nullptr, "cannot add components once the "
+                 "ParallelBsp worker pool is built");
         c->system_ = this;
         c->sysIndex_ = components_.size();
         components_.push_back(c);
-        due_.push_back(false);
         wake_.push_back(maxTick);
         succ_.push_back(0);
+        part_.push_back(0);
     }
+
+    /**
+     * Assigns @p c to a ParallelBsp partition (default 0). Partition
+     * ids are arbitrary labels; components sharing one are evaluated
+     * sequentially in registration order on one worker thread, while
+     * distinct partitions evaluate concurrently against last-cycle
+     * cross-partition state. Legality is the assigner's contract:
+     * components with same-cycle synchronous coupling (value-returning
+     * calls into each other's state, same-cycle queue observation)
+     * must share a partition, and every cross-partition interaction
+     * must be observable no earlier than the next cycle (the kernel
+     * rejects declared wakeup edges that would give a later-indexed
+     * component same-cycle visibility across partitions). Must be
+     * called before the first ParallelBsp cycle runs.
+     */
+    void
+    setPartition(Clocked *c, unsigned partition)
+    {
+        panic_if(c == nullptr || c->system_ != this,
+                 "setPartition() for unregistered component");
+        panic_if(bsp_ != nullptr, "cannot repartition once the "
+                 "ParallelBsp worker pool is built");
+        part_[c->sysIndex_] = partition;
+    }
+
+    /** The ParallelBsp partition id assigned to @p c. */
+    unsigned
+    partitionOf(const Clocked &c) const
+    {
+        return part_[c.sysIndex_];
+    }
+
+    /**
+     * Caps the ParallelBsp worker pool (0 = one thread per hardware
+     * core). The pool never exceeds the number of distinct partitions;
+     * simulated results are bit-identical for every thread count.
+     */
+    void
+    setHostThreads(unsigned threads)
+    {
+        panic_if(bsp_ != nullptr, "cannot resize the ParallelBsp "
+                 "worker pool once it is built");
+        hostThreads_ = threads;
+    }
+
+    unsigned hostThreads() const { return hostThreads_; }
+
+    /** True while inside a ParallelBsp parallel evaluate phase. */
+    bool inBspEvaluate() const { return bspEvaluate_; }
 
     /**
      * Opts @p dst into wakeup caching. By default the event kernel
@@ -223,7 +351,15 @@ class System
     void
     poke(const Clocked &c)
     {
-        dirty_ |= std::uint64_t(1) << c.sysIndex_;
+        const std::uint64_t bit = std::uint64_t(1) << c.sysIndex_;
+        // During a ParallelBsp evaluate phase, pokes land in the
+        // calling worker's local mask: same-partition pokes stay
+        // visible at-turn, cross-partition ones merge at commit.
+        if (bspEvaluate_ && detail::bspPokeMask != nullptr) {
+            *detail::bspPokeMask |= bit;
+            return;
+        }
+        dirty_ |= bit;
     }
 
     /** Selects the kernel (callers may switch between runs). */
@@ -402,21 +538,44 @@ class System
      * pass sees the poke at its turn, exactly like the uncached path.
      * Undeclared components are re-polled every executed cycle.
      */
+    /** Moves all scheduled wakeups that are due into the due mask. */
+    void
+    collectDue()
+    {
+        while (!scheduled_.empty() && scheduled_.top().first <= now_) {
+            dueMask_ |= std::uint64_t(1) << scheduled_.top().second;
+            scheduled_.pop();
+        }
+    }
+
+    /** One cycle under the selected non-dense kernel. */
+    CyclePass
+    passCycle()
+    {
+        return mode_ == KernelMode::ParallelBsp ? executeCycleBsp()
+                                                : executeCycle();
+    }
+
+    /**
+     * One ParallelBsp cycle: a parallel evaluate phase over the due
+     * partitions, then the serial commit/transfer sequence. Defined in
+     * parallel_kernel.cc (it drives the worker pool); builds the pool
+     * on first use.
+     */
+    CyclePass executeCycleBsp();
+
     CyclePass
     executeCycle()
     {
-        while (!scheduled_.empty() && scheduled_.top().first <= now_) {
-            due_[scheduled_.top().second] = true;
-            scheduled_.pop();
-        }
+        collectDue();
         bool ticked = false;
         std::uint64_t tickedMask = 0;
         Tick next = maxTick;
         for (std::size_t i = 0; i < components_.size(); ++i) {
             const std::uint64_t bit = std::uint64_t(1) << i;
             Tick w;
-            if (due_[i]) {
-                due_[i] = false;
+            if ((dueMask_ & bit) != 0) {
+                dueMask_ &= ~bit;
                 w = now_;
             } else if ((dirty_ & bit) != 0 || (declared_ & bit) == 0) {
                 w = components_[i]->nextWakeup(now_);
@@ -472,7 +631,7 @@ class System
     runUntilIdleEvent(Tick limit)
     {
         while (now_ < limit) {
-            const CyclePass pass = executeCycle();
+            const CyclePass pass = passCycle();
             if (pass.ticked) {
                 if (!anyBusy()) {
                     return true;
@@ -492,7 +651,7 @@ class System
     runEvent(Tick limit)
     {
         while (now_ < limit) {
-            const CyclePass pass = executeCycle();
+            const CyclePass pass = passCycle();
             if (!pass.ticked) {
                 fastForwardTo(std::min(pass.next, limit));
             }
@@ -504,11 +663,15 @@ class System
     KernelMode mode_ = KernelMode::Event;
     KernelObserver *observer_ = nullptr;
     std::vector<Clocked *> components_;
-    std::vector<char> due_; //!< Per-component due flag (event mode).
     std::vector<Tick> wake_; //!< Cached absolute wakeups (event mode).
     std::vector<std::uint64_t> succ_; //!< Per-src mask of dependents.
+    std::vector<unsigned> part_; //!< ParallelBsp partition labels.
+    std::uint64_t dueMask_ = 0; //!< Scheduled-wakeup due components.
     std::uint64_t declared_ = 0; //!< Components with declared inputs.
     std::uint64_t dirty_ = ~std::uint64_t(0); //!< Stale wakeup caches.
+    unsigned hostThreads_ = 0; //!< ParallelBsp pool cap (0 = auto).
+    bool bspEvaluate_ = false; //!< Inside a parallel evaluate phase.
+    std::unique_ptr<ParallelKernel> bsp_; //!< Lazily built worker pool.
 
     /** Explicitly scheduled (cycle, component index) wakeups. */
     using ScheduledTick = std::pair<Tick, std::size_t>;
@@ -531,6 +694,19 @@ Clocked::pokeWakeup(const Clocked &other)
     if (other.system_ != nullptr) {
         other.system_->poke(other);
     }
+}
+
+inline bool
+Clocked::bspStagingActive() const
+{
+    return system_ != nullptr && system_->inBspEvaluate();
+}
+
+inline bool
+Clocked::inBspSystem() const
+{
+    return system_ != nullptr &&
+        system_->mode() == KernelMode::ParallelBsp;
 }
 
 } // namespace hwgc

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * ParallelBsp kernel: the worker pool, the per-partition replay of
+ * the event kernel's at-turn pass, and System::executeCycleBsp().
+ */
+
+#include "sim/parallel_kernel.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.h"
+
+namespace hwgc
+{
+
+namespace detail
+{
+thread_local std::uint64_t *bspPokeMask = nullptr;
+} // namespace detail
+
+// Out of line so ~unique_ptr<ParallelKernel> sees the complete type.
+System::System() = default;
+System::~System() = default;
+
+namespace
+{
+/**
+ * One busy-wait iteration. For the first @p pause_iters a PAUSE-class
+ * hint keeps the wait on-core — on a non-oversubscribed host the
+ * partner answers within a few hundred nanoseconds and parking or
+ * even yielding would cost more than the whole evaluate phase. Past
+ * that the partner evidently is not running, so yield the core to it;
+ * spinning on would burn the rest of our timeslice while the partner
+ * waits for a core.
+ */
+inline void
+cpuRelax(unsigned spins, unsigned pause_iters)
+{
+    if (spins < pause_iters) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("isb" ::: "memory");
+#else
+        std::this_thread::yield();
+#endif
+    } else {
+        std::this_thread::yield();
+    }
+}
+} // namespace
+
+ParallelKernel::ParallelKernel(System &sys) : sys_(sys)
+{
+    const auto &comps = sys.components_;
+    panic_if(comps.empty(), "ParallelBsp kernel with no components");
+
+    // Normalise the user's arbitrary partition labels to dense
+    // indices, ordered by label so the schedule is reproducible.
+    std::map<unsigned, unsigned> dense;
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        dense.emplace(sys.part_[i], 0);
+    }
+    unsigned next = 0;
+    for (auto &entry : dense) {
+        entry.second = next++;
+    }
+    partComps_.resize(dense.size());
+    partMask_.resize(dense.size(), 0);
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        const unsigned p = dense[sys.part_[i]];
+        partComps_[p].push_back(i);
+        partMask_[p] |= std::uint64_t(1) << i;
+    }
+
+    // Partition legality (see System::setPartition): a declared
+    // wakeup edge crossing partitions *forward* would let the event
+    // kernel re-poll (and possibly tick) the destination in the same
+    // cycle as the source's tick, which the evaluate phase cannot
+    // reproduce — cross-partition pokes only merge at commit.
+    // Backward edges are fine: the destination's turn is already past
+    // in the same-cycle pass of every kernel.
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+        std::uint64_t m = sys.succ_[i];
+        while (m != 0) {
+            const std::size_t j = std::size_t(__builtin_ctzll(m));
+            m &= m - 1;
+            panic_if(j > i && sys.part_[j] != sys.part_[i],
+                     "ParallelBsp: declared wakeup edge %s -> %s "
+                     "crosses partitions forward; co-partition them "
+                     "or re-order registration",
+                     comps[i]->name().c_str(), comps[j]->name().c_str());
+        }
+    }
+
+    const unsigned requested = sys.hostThreads_ != 0
+        ? sys.hostThreads_
+        : std::max(1u, std::thread::hardware_concurrency());
+    numWorkers_ =
+        std::max(1u, std::min(requested, unsigned(partComps_.size())));
+
+    // Oversubscribed (workers ≥ host cores, e.g. a forced thread
+    // count on a small CI box): busy-waiting can only steal the core
+    // the partner thread needs, so yield immediately and park fast.
+    // Results are identical either way; only wall-clock differs.
+    const unsigned cores =
+        std::max(1u, std::thread::hardware_concurrency());
+    if (numWorkers_ >= cores) {
+        pauseIters_ = 0;
+        parkAfter_ = 256;
+    }
+
+    dueLocal_.assign(partComps_.size(), 0);
+    dirtyLocal_.assign(partComps_.size(), 0);
+    pass_.assign(partComps_.size(), Pass{});
+    workerWork_.assign(numWorkers_, 0);
+
+    slots_.reserve(numWorkers_);
+    for (unsigned w = 0; w < numWorkers_; ++w) {
+        slots_.push_back(std::make_unique<Slot>());
+    }
+    for (unsigned w = 1; w < numWorkers_; ++w) {
+        slots_[w]->thread =
+            std::thread([this, w] { workerLoop(w); });
+    }
+}
+
+ParallelKernel::~ParallelKernel()
+{
+    stop_.store(true, std::memory_order_release);
+    for (unsigned w = 1; w < numWorkers_; ++w) {
+        Slot &s = *slots_[w];
+        s.work = 0;
+        signal(s);
+        s.thread.join();
+    }
+}
+
+void
+ParallelKernel::signal(Slot &s)
+{
+    // seq_cst store, then seq_cst load of `sleeping`: pairs with the
+    // worker's seq_cst store of `sleeping` followed by a seq_cst load
+    // of `req`, so at least one side observes the other and the
+    // wakeup cannot be lost.
+    s.req.store(s.req.load(std::memory_order_relaxed) + 1,
+                std::memory_order_seq_cst);
+    if (s.sleeping.load(std::memory_order_seq_cst)) {
+        std::lock_guard<std::mutex> lk(s.m);
+        s.cv.notify_one();
+    }
+}
+
+void
+ParallelKernel::awaitAck(Slot &s)
+{
+    const std::uint64_t want = s.req.load(std::memory_order_relaxed);
+    // The evaluate phase is a handful of component ticks; a parked
+    // commit thread would cost more than it saves.
+    unsigned spins = 0;
+    while (s.ack.load(std::memory_order_acquire) != want) {
+        cpuRelax(spins++, pauseIters_);
+    }
+}
+
+void
+ParallelKernel::workerLoop(unsigned slot)
+{
+    Slot &s = *slots_[slot];
+    std::uint64_t seen = 0;
+    for (;;) {
+        unsigned spins = 0;
+        while (s.req.load(std::memory_order_acquire) == seen) {
+            if (++spins < parkAfter_) {
+                cpuRelax(spins, pauseIters_);
+                continue;
+            }
+            s.sleeping.store(true, std::memory_order_seq_cst);
+            if (s.req.load(std::memory_order_seq_cst) == seen) {
+                std::unique_lock<std::mutex> lk(s.m);
+                s.cv.wait(lk, [&] {
+                    return s.req.load(std::memory_order_acquire) !=
+                           seen;
+                });
+            }
+            s.sleeping.store(false, std::memory_order_relaxed);
+        }
+        seen = s.req.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_acquire)) {
+            s.ack.store(seen, std::memory_order_release);
+            return;
+        }
+        std::uint64_t work = s.work;
+        while (work != 0) {
+            const unsigned p = unsigned(__builtin_ctzll(work));
+            work &= work - 1;
+            pass_[p] = runPartition(p);
+        }
+        s.ack.store(seen, std::memory_order_release);
+    }
+}
+
+/**
+ * Replays System::executeCycle()'s at-turn pass over one partition's
+ * components, against the partition-local due/dirty slices seeded by
+ * the commit thread. Pokes from inside ticks land in the local mask
+ * via detail::bspPokeMask: same-partition pokes are visible at the
+ * poked component's turn exactly as in the serial kernel, and
+ * cross-partition pokes ride back in Pass::newDirty to merge at
+ * commit. wake_ writes touch only this partition's indices, so no
+ * two workers ever write the same element.
+ */
+ParallelKernel::Pass
+ParallelKernel::runPartition(unsigned p)
+{
+    System &sys = sys_;
+    const Tick now = sys.now_;
+    Pass out;
+    std::uint64_t local = dirtyLocal_[p];
+    std::uint64_t due = dueLocal_[p];
+    detail::bspPokeMask = &local;
+    for (const std::size_t i : partComps_[p]) {
+        const std::uint64_t bit = std::uint64_t(1) << i;
+        Tick w;
+        if ((due & bit) != 0) {
+            due &= ~bit;
+            w = now;
+        } else if ((local & bit) != 0 ||
+                   (sys.declared_ & bit) == 0) {
+            w = sys.components_[i]->nextWakeup(now);
+            sys.wake_[i] = w;
+            local &= ~bit;
+        } else {
+            w = sys.wake_[i];
+        }
+        if (w <= now) {
+            sys.components_[i]->tick(now);
+            out.ticked |= bit;
+            local |= sys.succ_[i] | bit;
+        } else {
+            if (sys.components_[i]->hasFastForward()) {
+                sys.components_[i]->fastForward(now, now + 1);
+            }
+            out.next = std::min(out.next, w);
+        }
+    }
+    detail::bspPokeMask = nullptr;
+    out.newDirty = local;
+    return out;
+}
+
+void
+ParallelKernel::evaluate(std::uint64_t dispatch)
+{
+    // One dispatched partition (the common idle-phase case) or one
+    // worker: no other thread could help, skip the signalling.
+    if (numWorkers_ == 1 || (dispatch & (dispatch - 1)) == 0) {
+        std::uint64_t work = dispatch;
+        while (work != 0) {
+            const unsigned p = unsigned(__builtin_ctzll(work));
+            work &= work - 1;
+            pass_[p] = runPartition(p);
+        }
+        return;
+    }
+
+    std::fill(workerWork_.begin(), workerWork_.end(), 0);
+    std::uint64_t work = dispatch;
+    while (work != 0) {
+        const unsigned p = unsigned(__builtin_ctzll(work));
+        work &= work - 1;
+        workerWork_[p % numWorkers_] |= std::uint64_t(1) << p;
+    }
+    bool remote = false;
+    for (unsigned w = 1; w < numWorkers_; ++w) {
+        if (workerWork_[w] != 0) {
+            remote = true;
+        }
+    }
+    if (!remote) {
+        work = dispatch;
+        while (work != 0) {
+            const unsigned p = unsigned(__builtin_ctzll(work));
+            work &= work - 1;
+            pass_[p] = runPartition(p);
+        }
+        return;
+    }
+    for (unsigned w = 1; w < numWorkers_; ++w) {
+        if (workerWork_[w] != 0) {
+            Slot &s = *slots_[w];
+            s.work = workerWork_[w];
+            signal(s);
+        }
+    }
+    work = workerWork_[0];
+    while (work != 0) {
+        const unsigned p = unsigned(__builtin_ctzll(work));
+        work &= work - 1;
+        pass_[p] = runPartition(p);
+    }
+    for (unsigned w = 1; w < numWorkers_; ++w) {
+        if (workerWork_[w] != 0) {
+            awaitAck(*slots_[w]);
+        }
+    }
+}
+
+/**
+ * One ParallelBsp cycle. Dispatch decision per partition: it must
+ * evaluate if any member is due (scheduled wakeup), dirty (poked or
+ * a declared input ticked), undeclared (the event kernel re-polls
+ * those every executed cycle), or has a cached wakeup that has
+ * arrived. A partition that is none of these is exactly a partition
+ * the event kernel would pass over without ticking: its members get
+ * the one-cycle fastForward() notification from the commit thread
+ * and contribute their cached wakeups to the fast-forward target.
+ */
+System::CyclePass
+System::executeCycleBsp()
+{
+    if (bsp_ == nullptr) {
+        bsp_ = std::make_unique<ParallelKernel>(*this);
+    }
+    ParallelKernel &k = *bsp_;
+    collectDue();
+
+    const unsigned numParts = k.numPartitions();
+    std::uint64_t dispatch = 0;
+    for (unsigned p = 0; p < numParts; ++p) {
+        const std::uint64_t m = k.partMask_[p];
+        bool go = (dueMask_ & m) != 0 || (dirty_ & m) != 0 ||
+                  (m & ~declared_) != 0;
+        if (!go) {
+            // All members declared and clean: caches are valid.
+            for (const std::size_t i : k.partComps_[p]) {
+                if (wake_[i] <= now_) {
+                    go = true;
+                    break;
+                }
+            }
+        }
+        if (go) {
+            dispatch |= std::uint64_t(1) << p;
+            k.dueLocal_[p] = dueMask_ & m;
+            k.dirtyLocal_[p] = dirty_ & m;
+            dueMask_ &= ~m;
+            dirty_ &= ~m;
+        }
+    }
+
+    bspEvaluate_ = true;
+    k.evaluate(dispatch);
+    bspEvaluate_ = false;
+
+    std::uint64_t tickedMask = 0;
+    Tick next = maxTick;
+    for (unsigned p = 0; p < numParts; ++p) {
+        if ((dispatch & (std::uint64_t(1) << p)) != 0) {
+            tickedMask |= k.pass_[p].ticked;
+            next = std::min(next, k.pass_[p].next);
+            dirty_ |= k.pass_[p].newDirty;
+        } else {
+            for (const std::size_t i : k.partComps_[p]) {
+                if (components_[i]->hasFastForward()) {
+                    components_[i]->fastForward(now_, now_ + 1);
+                }
+                next = std::min(next, wake_[i]);
+            }
+        }
+    }
+
+    // Serial commit: drain staged inter-partition traffic in
+    // registration order (reproducing the dense kernel's intra-cycle
+    // order), then publish end-of-cycle snapshots. Pokes from commit
+    // handlers land in the global dirty mask (bspPokeMask is null
+    // here) and force fresh re-polls next cycle.
+    for (auto *c : components_) {
+        if (c->hasBspHooks()) {
+            c->bspCommit(now_);
+        }
+    }
+    for (auto *c : components_) {
+        if (c->hasBspHooks()) {
+            c->bspPublish();
+        }
+    }
+
+    const Tick cycle = now_;
+    ++now_;
+    ++executedCycles_;
+    if (observer_ != nullptr) {
+        observer_->cycleExecuted(cycle, tickedMask);
+    }
+    if (!scheduled_.empty()) {
+        next = std::min(next, scheduled_.top().first);
+    }
+    return {tickedMask != 0, next};
+}
+
+} // namespace hwgc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Worker pool and static partition schedule for the ParallelBsp
+ * kernel (see clocked.h for the mode overview and DESIGN.md §8 for
+ * the determinism argument).
+ *
+ * The kernel follows the bulk-synchronous shape of partitioned RTL
+ * simulators (Manticore, GSIM): components are statically assigned to
+ * partitions, each executed simulated cycle runs a parallel
+ * *evaluate* phase in which every dispatched partition replays the
+ * event kernel's at-turn pass over its own components against
+ * last-cycle cross-partition state, and a serial *commit* phase
+ * drains the staged inter-partition traffic in registration order.
+ * Because the partition→work mapping is static, per-boundary FIFOs
+ * preserve order, the commit runs in a fixed order on one thread,
+ * and worker-local poke masks merge by a commutative OR over a fixed
+ * partition set, the simulated results are bit-identical to the
+ * dense and event kernels for any worker count and any scheduling.
+ */
+
+#ifndef HWGC_SIM_PARALLEL_KERNEL_H
+#define HWGC_SIM_PARALLEL_KERNEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/clocked.h"
+#include "sim/types.h"
+
+namespace hwgc
+{
+
+/**
+ * Owns the worker threads and the partition schedule of a System in
+ * ParallelBsp mode. Built lazily by System::executeCycleBsp() on the
+ * first executed cycle (so all setPartition()/setHostThreads() calls
+ * made during wiring are seen), destroyed with the System.
+ */
+class ParallelKernel
+{
+    friend class System;
+
+  public:
+    explicit ParallelKernel(System &sys);
+    ~ParallelKernel();
+
+    ParallelKernel(const ParallelKernel &) = delete;
+    ParallelKernel &operator=(const ParallelKernel &) = delete;
+
+    /** Distinct partitions after label normalisation. */
+    unsigned numPartitions() const
+    {
+        return unsigned(partComps_.size());
+    }
+
+    /** Worker threads actually used (main thread included). */
+    unsigned numWorkers() const { return numWorkers_; }
+
+  private:
+    /**
+     * Evaluate-phase result of one partition for one cycle. Padded to
+     * a cache line: adjacent partitions are written by different
+     * workers every executed cycle.
+     */
+    struct alignas(64) Pass
+    {
+        std::uint64_t ticked = 0;   //!< Members that ticked.
+        std::uint64_t newDirty = 0; //!< Pokes + successor invalidations.
+        Tick next = maxTick; //!< Min wakeup among non-due members.
+    };
+
+    /**
+     * One worker thread's mailbox. The commit thread publishes a
+     * partition mask in @c work and bumps @c req; the worker runs the
+     * partitions and echoes the generation into @c ack. Sleeping
+     * workers park on the condition variable after a bounded spin;
+     * the seq_cst @c sleeping flag is the Dekker handshake that makes
+     * the notify impossible to lose.
+     */
+    struct alignas(64) Slot
+    {
+        std::atomic<std::uint64_t> req{0};
+        std::atomic<std::uint64_t> ack{0};
+        std::atomic<bool> sleeping{false};
+        std::uint64_t work = 0; //!< Partition mask; written before req.
+        std::mutex m;
+        std::condition_variable cv;
+        std::thread thread;
+    };
+
+    /**
+     * Runs the evaluate phase for the partitions in @p dispatch
+     * (a mask of partition indices): remote workers are signalled,
+     * the calling thread runs worker slot 0's share inline, and the
+     * call returns once every dispatched partition's Pass is stored.
+     * With one dispatched partition (or one worker) everything runs
+     * inline and no signalling happens at all.
+     */
+    void evaluate(std::uint64_t dispatch);
+
+    /** The event kernel's at-turn pass over one partition. */
+    Pass runPartition(unsigned p);
+
+    void workerLoop(unsigned slot);
+    void signal(Slot &s);
+    void awaitAck(Slot &s);
+
+    System &sys_;
+    unsigned numWorkers_ = 1;
+    std::atomic<bool> stop_{false};
+
+    /** Busy-wait iterations spent in a PAUSE hint before yielding the
+     *  core, and total iterations before a worker parks on its
+     *  condition variable. Both collapse to near zero when the pool
+     *  is oversubscribed (workers ≥ host cores): spinning there only
+     *  steals the core the partner needs. */
+    unsigned pauseIters_ = 512;
+    unsigned parkAfter_ = 1 << 16;
+
+    /** Registration-order component indices per partition. */
+    std::vector<std::vector<std::size_t>> partComps_;
+    /** Component bitmask per partition. */
+    std::vector<std::uint64_t> partMask_;
+
+    /** Per-partition evaluate inputs, seeded by the commit thread. */
+    std::vector<std::uint64_t> dueLocal_;
+    std::vector<std::uint64_t> dirtyLocal_;
+    /** Per-partition evaluate outputs. */
+    std::vector<Pass> pass_;
+
+    /** Scratch: partition mask assigned to each worker this round. */
+    std::vector<std::uint64_t> workerWork_;
+
+    /** Slot 0 is the calling thread and never starts a std::thread. */
+    std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+} // namespace hwgc
+
+#endif // HWGC_SIM_PARALLEL_KERNEL_H

@@ -169,6 +169,12 @@ applyEnv()
     if (const char *v = std::getenv("HWGC_STATS_INTERVAL")) {
         opts.statsInterval = std::strtoull(v, nullptr, 10);
     }
+    if (const char *v = std::getenv("HWGC_HOST_THREADS")) {
+        opts.hostThreads = unsigned(std::strtoul(v, nullptr, 10));
+    }
+    if (const char *v = std::getenv("HWGC_HOST_PARTITION")) {
+        opts.hostPartition = v;
+    }
     // HWGC_DEBUG is applied by a static initializer in logging.cc.
 }
 
@@ -193,6 +199,11 @@ parseArgs(int &argc, char **argv)
             opts.statsInterval = std::strtoull(v, nullptr, 10);
         } else if (const char *v = valueOf(argv[i], "--debug-flags=")) {
             Debug::parseFlagList(v);
+        } else if (const char *v = valueOf(argv[i], "--host-threads=")) {
+            opts.hostThreads = unsigned(std::strtoul(v, nullptr, 10));
+        } else if (const char *v =
+                       valueOf(argv[i], "--host-partition=")) {
+            opts.hostPartition = v;
         } else {
             argv[out++] = argv[i];
         }

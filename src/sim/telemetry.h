@@ -50,16 +50,31 @@ namespace hwgc::telemetry
 {
 
 /**
- * Process-wide telemetry options, settable from the CLI
- * (--stats-json=, --trace-out=, --stats-interval=, --debug-flags=),
- * the environment (HWGC_STATS_JSON, HWGC_TRACE_OUT,
- * HWGC_STATS_INTERVAL, HWGC_DEBUG) or directly by tests.
+ * Process-wide telemetry + kernel options, settable from the CLI
+ * (--stats-json=, --trace-out=, --stats-interval=, --debug-flags=,
+ * --host-threads=, --host-partition=), the environment
+ * (HWGC_STATS_JSON, HWGC_TRACE_OUT, HWGC_STATS_INTERVAL, HWGC_DEBUG,
+ * HWGC_HOST_THREADS, HWGC_HOST_PARTITION) or directly by tests.
  */
 struct Options
 {
     std::string statsJson;  //!< Stats JSON path ("" off, "-" stdout).
     std::string traceOut;   //!< Chrome trace path ("" off).
     Tick statsInterval = 0; //!< Snapshot/counter period (0 off).
+
+    /**
+     * ParallelBsp worker threads (0 = one per hardware core). Applied
+     * by HwgcDevice when HwgcConfig::hostThreads is 0; simulated
+     * results are bit-identical for every value, only host wall-clock
+     * changes.
+     */
+    unsigned hostThreads = 0;
+
+    /**
+     * ParallelBsp partition override, "name=P[,name=P...]" over
+     * registered component names (see HwgcConfig::hostPartition).
+     */
+    std::string hostPartition;
 };
 
 /** The mutable global options instance. */

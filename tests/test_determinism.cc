@@ -4,11 +4,22 @@
  * seeds, same cycle counts, same statistics — across runs and across
  * configurations that should not affect results. This is what makes
  * every number in EXPERIMENTS.md reproducible.
+ *
+ * The KernelMatrix suite is the strongest form of that contract: the
+ * {dense, event, parallel×{1,2,4,7 threads}} kernel matrix must agree
+ * bit for bit on every modeled configuration — final cycle counts,
+ * the full stats-JSON export, and the mark/sweep oracles.
  */
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstring>
+#include <sstream>
+#include <string>
+
 #include "driver/gc_lab.h"
+#include "sim/telemetry.h"
 
 namespace hwgc
 {
@@ -87,6 +98,224 @@ TEST(Determinism, SharedCacheRunsAreReproducible)
     const auto a = signatureFor(config, 10);
     const auto b = signatureFor(config, 10);
     EXPECT_TRUE(a == b);
+}
+
+// ---------------------------------------------------------------------
+// Kernel matrix: every kernel mode and thread count must produce the
+// same simulation, bit for bit.
+// ---------------------------------------------------------------------
+
+/**
+ * StatsRegistry::uniquePrefix never reuses an instance number within a
+ * process, so consecutive runs register as system.hwgc0, system.hwgc1,
+ * ... Strip the instance digits so exports from different runs become
+ * directly comparable strings.
+ */
+std::string
+normalizeInstanceIds(std::string s)
+{
+    for (const char *key : {"system.hwgc", "system.cpu"}) {
+        const std::size_t klen = std::strlen(key);
+        std::size_t pos = 0;
+        while ((pos = s.find(key, pos)) != std::string::npos) {
+            std::size_t digits = pos + klen;
+            std::size_t end = digits;
+            while (end < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[end]))) {
+                ++end;
+            }
+            s.replace(digits, end - digits, "#");
+            pos = digits + 1;
+        }
+    }
+    return s;
+}
+
+/** One full lab run folded down to everything that must match. */
+struct MatrixResult
+{
+    Tick hwMark = 0;  //!< Mark cycles summed over all pauses.
+    Tick hwSweep = 0; //!< Sweep cycles summed over all pauses.
+    std::uint64_t marked = 0;
+    std::uint64_t freed = 0;
+    std::string statsJson; //!< Normalized full registry export.
+};
+
+MatrixResult
+matrixRun(core::HwgcConfig config, KernelMode kernel, unsigned threads)
+{
+    config.kernel = kernel;
+    config.hostThreads = threads;
+    driver::LabConfig lab_config;
+    lab_config.runSw = false;
+    lab_config.verify = true; // Oracle-checks marks and the swept heap.
+    lab_config.hwgc = config;
+    lab_config.heap.layout = config.layout;
+
+    // Retired groups from earlier runs in this process would otherwise
+    // accumulate into the export and differ between runs.
+    telemetry::StatsRegistry::global().clearRetired();
+
+    driver::GcLab lab(workload::smokeProfile(), lab_config);
+    lab.run();
+
+    MatrixResult r;
+    for (const auto &pause : lab.results()) {
+        r.hwMark += pause.hwMarkCycles;
+        r.hwSweep += pause.hwSweepCycles;
+        r.marked += pause.objectsMarked;
+        r.freed += pause.cellsFreed;
+    }
+    std::ostringstream os;
+    telemetry::StatsRegistry::global().exportJson(os, {});
+    r.statsJson = normalizeInstanceIds(os.str());
+    return r;
+}
+
+/** On mismatch, EXPECT_EQ on two full exports is unreadable; point at
+ *  the first divergence instead. */
+void
+expectSameStatsJson(const std::string &ref, const std::string &run)
+{
+    if (ref == run) {
+        return;
+    }
+    std::size_t i = 0;
+    while (i < ref.size() && i < run.size() && ref[i] == run[i]) {
+        ++i;
+    }
+    const std::size_t begin = i > 120 ? i - 120 : 0;
+    ADD_FAILURE() << "stats JSON diverged at byte " << i << "\n  ref: ..."
+                  << ref.substr(begin, 200) << "\n  run: ..."
+                  << run.substr(begin, 200);
+}
+
+void
+expectKernelMatrixAgrees(const core::HwgcConfig &config)
+{
+    const auto ref = matrixRun(config, KernelMode::Dense, 0);
+    struct Case
+    {
+        const char *name;
+        KernelMode kernel;
+        unsigned threads;
+    };
+    // Odd and oversubscribed thread counts are deliberate: the
+    // partition→worker mapping and the worker clamp must not be able
+    // to affect results.
+    static constexpr Case cases[] = {
+        {"event", KernelMode::Event, 0},
+        {"parallel-1", KernelMode::ParallelBsp, 1},
+        {"parallel-2", KernelMode::ParallelBsp, 2},
+        {"parallel-4", KernelMode::ParallelBsp, 4},
+        {"parallel-7", KernelMode::ParallelBsp, 7},
+    };
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.name);
+        const auto run = matrixRun(config, c.kernel, c.threads);
+        EXPECT_EQ(ref.hwMark, run.hwMark);
+        EXPECT_EQ(ref.hwSweep, run.hwSweep);
+        EXPECT_EQ(ref.marked, run.marked);
+        EXPECT_EQ(ref.freed, run.freed);
+        expectSameStatsJson(ref.statsJson, run.statsJson);
+    }
+}
+
+TEST(KernelMatrix, BaselineDdr3)
+{
+    expectKernelMatrixAgrees(core::HwgcConfig{});
+}
+
+TEST(KernelMatrix, SharedCache)
+{
+    core::HwgcConfig config;
+    config.sharedCache = true;
+    expectKernelMatrixAgrees(config);
+}
+
+TEST(KernelMatrix, IdealMemory)
+{
+    core::HwgcConfig config;
+    config.memModel = core::MemModel::Ideal;
+    expectKernelMatrixAgrees(config);
+}
+
+TEST(KernelMatrix, SpillPressure)
+{
+    core::HwgcConfig config;
+    config.markQueueEntries = 32; // Force the spill path.
+    expectKernelMatrixAgrees(config);
+}
+
+TEST(KernelMatrix, BandwidthThrottle)
+{
+    core::HwgcConfig config;
+    config.bus.throttleBytesPerCycle = 1.0;
+    expectKernelMatrixAgrees(config);
+}
+
+TEST(KernelMatrix, TibLayout)
+{
+    core::HwgcConfig config;
+    config.layout = runtime::Layout::Tib;
+    expectKernelMatrixAgrees(config);
+}
+
+// ---------------------------------------------------------------------
+// Mark-queue overflow stress: a tiny queue against a wide graph keeps
+// the spill/refill path saturated; its counters must still be
+// identical across kernels (the full-export comparison covers them,
+// but the explicit asserts document which stats are the point here).
+// ---------------------------------------------------------------------
+
+TEST(KernelMatrix, SpillStressTinyQueueWideGraph)
+{
+    core::HwgcConfig config;
+    config.markQueueEntries = 16;
+    config.spillQueueEntries = 16;
+    config.spillThrottle = 8;
+
+    auto profile = workload::smokeProfile();
+    profile.graph.numRoots = 128;
+    profile.graph.avgRefs = 8.0;
+    profile.graph.maxRefs = 24;
+    profile.numGCs = 1;
+
+    auto run = [&](KernelMode kernel, unsigned threads) {
+        auto cfg = config;
+        cfg.kernel = kernel;
+        cfg.hostThreads = threads;
+        driver::LabConfig lab_config;
+        lab_config.runSw = false;
+        lab_config.verify = true;
+        lab_config.hwgc = cfg;
+        driver::GcLab lab(profile, lab_config);
+        lab.run();
+        const auto &hw = lab.results().back().hw;
+        struct Spill
+        {
+            std::uint64_t writes, reads, entries;
+            Tick markCycles;
+        };
+        return Spill{hw.spillWrites, hw.spillReads, hw.entriesSpilled,
+                     lab.results().back().hwMarkCycles};
+    };
+
+    const auto dense = run(KernelMode::Dense, 0);
+    ASSERT_GT(dense.entries, 0u) << "stress config did not spill";
+    ASSERT_GT(dense.writes, 0u);
+
+    for (unsigned threads : {0u, 1u, 2u, 4u, 7u}) {
+        const KernelMode kernel =
+            threads == 0 ? KernelMode::Event : KernelMode::ParallelBsp;
+        SCOPED_TRACE(threads == 0 ? "event"
+                                  : "parallel-" + std::to_string(threads));
+        const auto other = run(kernel, threads);
+        EXPECT_EQ(dense.writes, other.writes);
+        EXPECT_EQ(dense.reads, other.reads);
+        EXPECT_EQ(dense.entries, other.entries);
+        EXPECT_EQ(dense.markCycles, other.markCycles);
+    }
 }
 
 TEST(Determinism, SwSideIsReproducibleToo)
