@@ -86,12 +86,35 @@ printKernelSpeed(const char *bench, const char *kernel,
 {
     const double rate =
         host_seconds > 0.0 ? sim_cycles / host_seconds : 0.0;
+    // Bench and kernel labels can carry user-supplied text (partition
+    // specs, config summaries); escape them so the line stays JSON.
     std::printf("{\"bench\":\"%s\",\"kernel\":\"%s\","
                 "\"host_threads\":%u,"
                 "\"host_seconds\":%.6f,\"sim_cycles\":%.0f,"
                 "\"cycles_per_host_second\":%.0f}\n",
-                bench, kernel, host_threads, host_seconds, sim_cycles,
-                rate);
+                telemetry::jsonEscape(bench).c_str(),
+                telemetry::jsonEscape(kernel).c_str(),
+                host_threads, host_seconds, sim_cycles, rate);
+}
+
+/**
+ * Warmup-reuse hook: if --checkpoint-in=/HWGC_CHECKPOINT_IN names a
+ * checkpoint, restores it into @p device and returns true — the
+ * caller can then skip re-simulating whatever the checkpoint already
+ * covers (warmup pauses, a long mark prefix). Pairs with
+ * --checkpoint-out=, which makes the device write a checkpoint after
+ * every completed pause (or at --checkpoint-at=<cycle>).
+ */
+template <typename Device>
+inline bool
+restoreCheckpointIfRequested(Device &device)
+{
+    const std::string &path = telemetry::options().checkpointIn;
+    if (path.empty()) {
+        return false;
+    }
+    device.restoreCheckpoint(path);
+    return true;
 }
 
 /** Prints one row of a two-column-per-engine table. */

@@ -7,6 +7,14 @@
  * debug library (§V-E).
  *
  *   $ ./build/examples/heap_inspector [benchmark]
+ *
+ * Post-mortem mode: point it at a checkpoint file — typically the
+ * "<path>.crash" dump the device writes on a fatal error when
+ * --checkpoint-out= is armed — and it prints the chunk directory, the
+ * device configuration signature, the MMIO/phase state, and the saved
+ * kernel clock instead of running a GC.
+ *
+ *   $ ./build/examples/heap_inspector --post-mortem run.ckpt.crash
  */
 
 #include <cstdio>
@@ -16,14 +24,94 @@
 
 #include "core/hwgc_device.h"
 #include "gc/verifier.h"
+#include "sim/checkpoint.h"
 #include "sim/stats.h"
 #include "workload/dacapo.h"
+
+namespace
+{
+
+/** Dumps the self-describing contents of a checkpoint file. */
+int
+postMortem(const std::string &path)
+{
+    using hwgc::checkpoint::Deserializer;
+
+    std::printf("=== checkpoint post-mortem: %s ===\n", path.c_str());
+    const auto chunks = Deserializer::listChunks(path);
+    std::uint64_t total = 0;
+    std::printf("chunk directory (%zu chunks):\n", chunks.size());
+    for (const auto &chunk : chunks) {
+        std::printf("  %-28s %10llu B\n", chunk.name.c_str(),
+                    (unsigned long long)chunk.size);
+        total += chunk.size;
+    }
+    std::printf("  %-28s %10llu B\n", "(payload total)",
+                (unsigned long long)total);
+
+    // The leading chunks have a fixed layout; decode them.
+    Deserializer des = Deserializer::fromFile(path);
+    des.beginChunk("config");
+    const std::string signature = des.getString();
+    des.endChunk();
+    std::printf("\ndevice configuration: %s\n", signature.c_str());
+
+    des.beginChunk("regs");
+    const std::uint64_t page_table = des.getU64();
+    const std::uint64_t hwgc_space = des.getU64();
+    const std::uint64_t roots = des.getU64();
+    const std::uint64_t block_table = des.getU64();
+    const std::uint64_t blocks = des.getU64();
+    const std::uint64_t spill_base = des.getU64();
+    const std::uint64_t spill_bytes = des.getU64();
+    const std::uint64_t status = des.getU64();
+    des.endChunk();
+    const char *status_name =
+        status == hwgc::core::MmioRegs::Marking    ? "Marking"
+        : status == hwgc::core::MmioRegs::Sweeping ? "Sweeping"
+        : status == hwgc::core::MmioRegs::Idle     ? "Idle"
+                                                   : "?";
+    std::printf("mmio: status=%s pageTable=%#llx hwgcSpace=%#llx "
+                "roots=%llu blockTable=%#llx blocks=%llu "
+                "spill=%#llx+%llu\n",
+                status_name, (unsigned long long)page_table,
+                (unsigned long long)hwgc_space,
+                (unsigned long long)roots,
+                (unsigned long long)block_table,
+                (unsigned long long)blocks,
+                (unsigned long long)spill_base,
+                (unsigned long long)spill_bytes);
+
+    des.beginChunk("kernel");
+    const std::uint64_t now = des.getU64();
+    const std::uint64_t executed = des.getU64();
+    const std::uint64_t due_mask = des.getU64();
+    const std::uint64_t pending = des.getU64();
+    for (std::uint64_t i = 0; i < pending; ++i) {
+        des.getU64(); // Scheduled-wakeup cycle.
+        des.getU64(); // Component index.
+    }
+    des.endChunk();
+    std::printf("kernel: cycle=%llu executed=%llu dueMask=%#llx "
+                "scheduledWakeups=%llu\n",
+                (unsigned long long)now, (unsigned long long)executed,
+                (unsigned long long)due_mask,
+                (unsigned long long)pending);
+    std::printf("\nresume with --checkpoint-in=%s on an identically "
+                "configured run.\n", path.c_str());
+    return 0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     hwgc::telemetry::Session session(argc, argv);
     using namespace hwgc;
+    if (argc > 2 && std::string(argv[1]) == "--post-mortem") {
+        return postMortem(argv[2]);
+    }
     const std::string bench = argc > 1 ? argv[1] : "luindex";
     const auto profile = workload::dacapoProfile(bench);
 

@@ -57,6 +57,11 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     void tick(Tick now) override;
     bool busy() const override { return !drained(); }
     Tick nextWakeup(Tick now) const override;
+    void save(checkpoint::Serializer &ser) const override;
+    void restore(checkpoint::Deserializer &des) override;
+
+    /** Re-creates the page-walk completion callback (restore path). */
+    mem::Ptw::WalkCallback walkCallback();
 
     void reset();
     void resetStats();

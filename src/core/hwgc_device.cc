@@ -5,7 +5,10 @@
 
 #include "hwgc_device.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "runtime/heap_layout.h"
 
@@ -195,7 +198,39 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
         configurePartitions();
     }
 
+    installWalkResolver();
     registerTelemetry();
+}
+
+void
+HwgcDevice::installWalkResolver()
+{
+    // Walk-completion callbacks are opaque closures and cannot live in
+    // a checkpoint; each in-flight walk instead records its (owner
+    // name, token) identity and this factory re-creates the closure on
+    // restore (see mem::Ptw::CallbackResolver).
+    ptw_->setCallbackResolver(
+        [this](const std::string &owner,
+               std::uint64_t token) -> mem::Ptw::WalkCallback {
+            if (owner == marker_->name()) {
+                return marker_->walkCallback(token);
+            }
+            if (owner == tracer_->name()) {
+                return tracer_->walkCallback();
+            }
+            if (owner == rootReader_->name()) {
+                return rootReader_->walkCallback();
+            }
+            if (owner == reclamation_->name()) {
+                return reclamation_->walkCallback();
+            }
+            for (auto &sweeper : reclamation_->sweepers()) {
+                if (owner == sweeper->name()) {
+                    return sweeper->walkCallback();
+                }
+            }
+            return nullptr; // Ptw::resolveCallback() fatals.
+        });
 }
 
 void
@@ -238,8 +273,13 @@ HwgcDevice::configurePartitions()
                  "--host-partition: '%s' is not name=partition",
                  item.c_str());
         const std::string name = item.substr(0, eq);
-        const unsigned part =
-            unsigned(std::strtoul(item.c_str() + eq + 1, nullptr, 10));
+        char *end = nullptr;
+        const unsigned long part_val =
+            std::strtoul(item.c_str() + eq + 1, &end, 10);
+        fatal_if(end == item.c_str() + eq + 1 || *end != '\0',
+                 "--host-partition: '%s' has a non-numeric partition",
+                 item.c_str());
+        const unsigned part = unsigned(part_val);
         Clocked *target = nullptr;
         for (Clocked *c : system_.components()) {
             if (c->name() == name) {
@@ -274,7 +314,8 @@ HwgcDevice::configurePartitions()
     }
     if (threads == 0) {
         if (const char *env = std::getenv("HWGC_HOST_THREADS")) {
-            threads = unsigned(std::strtoul(env, nullptr, 10));
+            threads = telemetry::parseHostThreads(
+                env, "HWGC_HOST_THREADS", 0);
         }
     }
     system_.setHostThreads(threads);
@@ -357,6 +398,9 @@ HwgcDevice::registerTelemetry()
 
 HwgcDevice::~HwgcDevice()
 {
+    if (crashHookInstalled_) {
+        setCrashHook(nullptr, nullptr);
+    }
     if (sysTracer_) {
         sysTracer_->flush(system_.now());
         system_.setObserver(nullptr);
@@ -377,16 +421,45 @@ HwgcDevice::configure(const runtime::Heap &heap)
     regs_.blockCount = heap.blocks().size();
     regs_.spillBase = runtime::HeapLayout::spillBase;
     regs_.spillBytes = runtime::HeapLayout::spillSize;
+
+    // Driver-level checkpoint wiring (--checkpoint-* / HWGC_CHECKPOINT_*).
+    const telemetry::Options &opts = telemetry::options();
+    if (!opts.checkpointOut.empty() && checkpointOut_.empty()) {
+        armCheckpoint(opts.checkpointOut, opts.checkpointAt);
+    }
+    if (!opts.checkpointIn.empty()) {
+        restoreCheckpoint(opts.checkpointIn);
+    }
 }
 
 Tick
 HwgcDevice::runUntil(const char *phase)
 {
     const Tick start = system_.now();
-    const bool ok = system_.runUntilIdle();
-    panic_if(!ok, "%s phase deadlocked (cycle budget exhausted)",
-             phase);
-    return system_.now() - start;
+    for (;;) {
+        // An armed --checkpoint-at= pauses the kernel at that exact
+        // inter-cycle boundary, mid-phase; the split run is
+        // bit-identical to an uninterrupted one (see
+        // System::runUntilIdleStop).
+        Tick stop = maxTick;
+        if (!checkpointOut_.empty() && checkpointAt_ != 0 &&
+            !checkpointAtDone_) {
+            stop = checkpointAt_;
+        }
+        const System::StopReason reason = system_.runUntilIdleStop(stop);
+        if (reason == System::StopReason::Stopped) {
+            checkpointAtDone_ = true;
+            if (writeCheckpoint(checkpointOut_)) {
+                inform("checkpoint: wrote '%s' at cycle %llu",
+                       checkpointOut_.c_str(),
+                       (unsigned long long)system_.now());
+            }
+            continue;
+        }
+        panic_if(reason == System::StopReason::Budget,
+                 "%s phase deadlocked (cycle budget exhausted)", phase);
+        return system_.now() - start;
+    }
 }
 
 HwPhaseResult
@@ -394,11 +467,17 @@ HwgcDevice::runMark()
 {
     panic_if(regs_.rootCount == 0 && regs_.hwgcSpaceBase == 0,
              "device not configured");
+    // A restored mid-mark checkpoint left the status register at
+    // Marking with the units already in flight: resume, don't restart.
+    const bool resuming = regs_.status == MmioRegs::Marking;
     const Tick start = system_.now();
-    DPRINTF(start, "Device", "%s: mark phase start, %llu roots",
-            statsPrefix_.c_str(), (unsigned long long)regs_.rootCount);
-    regs_.status = MmioRegs::Marking;
-    rootReader_->start(regs_.hwgcSpaceBase, regs_.rootCount);
+    DPRINTF(start, "Device", "%s: mark phase %s, %llu roots",
+            statsPrefix_.c_str(), resuming ? "resume" : "start",
+            (unsigned long long)regs_.rootCount);
+    if (!resuming) {
+        regs_.status = MmioRegs::Marking;
+        rootReader_->start(regs_.hwgcSpaceBase, regs_.rootCount);
+    }
 
     HwPhaseResult result;
     result.cycles = runUntil("mark");
@@ -423,17 +502,22 @@ HwgcDevice::runMark()
                         roots_done != 0 ? roots_done : end);
         tw.completeSpan(statsPrefix_, "mark", start, end);
     }
+    writePhaseCheckpoint();
     return result;
 }
 
 HwPhaseResult
 HwgcDevice::runSweep()
 {
+    const bool resuming = regs_.status == MmioRegs::Sweeping;
     const Tick start = system_.now();
-    DPRINTF(start, "Device", "%s: sweep phase start, %llu blocks",
-            statsPrefix_.c_str(), (unsigned long long)regs_.blockCount);
-    regs_.status = MmioRegs::Sweeping;
-    reclamation_->start(regs_.blockTableBase, regs_.blockCount);
+    DPRINTF(start, "Device", "%s: sweep phase %s, %llu blocks",
+            statsPrefix_.c_str(), resuming ? "resume" : "start",
+            (unsigned long long)regs_.blockCount);
+    if (!resuming) {
+        regs_.status = MmioRegs::Sweeping;
+        reclamation_->start(regs_.blockTableBase, regs_.blockCount);
+    }
 
     HwPhaseResult result;
     result.cycles = runUntil("sweep");
@@ -453,6 +537,7 @@ HwgcDevice::runSweep()
     if (tw.enabled()) {
         tw.completeSpan(statsPrefix_, "sweep", start, end);
     }
+    writePhaseCheckpoint();
     return result;
 }
 
@@ -494,6 +579,225 @@ HwgcDevice::resetStats()
     }
     if (ptwCache_) {
         ptwCache_->resetStats();
+    }
+}
+
+std::string
+HwgcDevice::configSignature() const
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "mq=%u,spill=%u/%u,comp=%d,slots=%u,waiters=%u,mbc=%u,tq=%u,"
+        "pend=%u,utlb=%u,layout=%d,dec=%d,tags=%u,sweep=%u,stlb=%u,"
+        "shared=%d,mem=%d",
+        config_.markQueueEntries, config_.spillQueueEntries,
+        config_.spillThrottle, int(config_.compressRefs),
+        config_.markerSlots, config_.markerWalkWaiters,
+        config_.markBitCacheEntries, config_.tracerQueueEntries,
+        config_.tracerPendingRefs, config_.unitTlbEntries,
+        int(config_.layout), int(config_.decoupledTracer),
+        config_.tracerTagSlots, config_.numSweepers,
+        config_.sweeperTlbEntries, int(config_.sharedCache),
+        int(config_.memModel));
+    return buf;
+}
+
+void
+HwgcDevice::saveCheckpoint(checkpoint::Serializer &ser) const
+{
+    // The configuration fingerprint goes first so a mismatched file
+    // fails with "configurations differ" before any state parsing.
+    ser.beginChunk("config");
+    ser.putString(configSignature());
+    ser.endChunk();
+
+    ser.beginChunk("regs");
+    ser.putU64(regs_.pageTableBase);
+    ser.putU64(regs_.hwgcSpaceBase);
+    ser.putU64(regs_.rootCount);
+    ser.putU64(regs_.blockTableBase);
+    ser.putU64(regs_.blockCount);
+    ser.putU64(regs_.spillBase);
+    ser.putU64(regs_.spillBytes);
+    ser.putU64(regs_.status);
+    ser.endChunk();
+
+    ser.beginChunk("kernel");
+    system_.save(ser);
+    ser.endChunk();
+
+    // One chunk per Clocked component, named by instance name, in
+    // registration (= evaluation) order.
+    for (const Clocked *c : system_.components()) {
+        ser.beginChunk(c->name());
+        c->save(ser);
+        ser.endChunk();
+    }
+
+    // The trace queue is passive (not Clocked) but carries phase state.
+    ser.beginChunk("traceQueue");
+    traceQueue_->save(ser);
+    ser.endChunk();
+
+    // The functional memory image, pages sorted for a byte-stable
+    // file (PhysMem iterates an unordered map).
+    ser.beginChunk("physmem");
+    const mem::PhysMem::Snapshot snap = mem_.snapshot();
+    std::vector<std::uint64_t> page_nums;
+    page_nums.reserve(snap.pages.size());
+    for (const auto &[num, data] : snap.pages) {
+        page_nums.push_back(num);
+    }
+    std::sort(page_nums.begin(), page_nums.end());
+    ser.putU64(mem_.size());
+    ser.putU64(page_nums.size());
+    for (const std::uint64_t num : page_nums) {
+        const auto &data = snap.pages.at(num);
+        ser.putU64(num);
+        ser.putU64(data.size());
+        ser.putBytes(data.data(), data.size());
+    }
+    ser.endChunk();
+}
+
+void
+HwgcDevice::restoreCheckpoint(checkpoint::Deserializer &des)
+{
+    des.beginChunk("config");
+    const std::string sig = des.getString();
+    des.endChunk();
+    fatal_if(sig != configSignature(),
+             "checkpoint '%s' was written by a different device "
+             "configuration\n  file: %s\n  this: %s",
+             des.origin().c_str(), sig.c_str(),
+             configSignature().c_str());
+
+    des.beginChunk("regs");
+    regs_.pageTableBase = des.getU64();
+    regs_.hwgcSpaceBase = des.getU64();
+    regs_.rootCount = des.getU64();
+    regs_.blockTableBase = des.getU64();
+    regs_.blockCount = des.getU64();
+    regs_.spillBase = des.getU64();
+    regs_.spillBytes = des.getU64();
+    regs_.status = des.getU64();
+    des.endChunk();
+
+    des.beginChunk("kernel");
+    system_.restore(des);
+    des.endChunk();
+
+    for (Clocked *c : system_.components()) {
+        des.beginChunk(c->name());
+        c->restore(des);
+        des.endChunk();
+    }
+
+    des.beginChunk("traceQueue");
+    traceQueue_->restore(des);
+    des.endChunk();
+
+    des.beginChunk("physmem");
+    const std::uint64_t mem_size = des.getU64();
+    fatal_if(mem_size != mem_.size(),
+             "checkpoint '%s': physical memory is %llu bytes but this "
+             "configuration has %llu — configurations differ",
+             des.origin().c_str(), (unsigned long long)mem_size,
+             (unsigned long long)mem_.size());
+    mem::PhysMem::Snapshot snap;
+    const std::uint64_t num_pages = des.getU64();
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+        const std::uint64_t num = des.getU64();
+        const std::uint64_t bytes = des.getU64();
+        std::vector<std::uint8_t> data(bytes);
+        des.getBytes(data.data(), data.size());
+        snap.pages.emplace(num, std::move(data));
+    }
+    mem_.restore(snap);
+    des.endChunk();
+
+    fatal_if(!des.atEnd(),
+             "checkpoint '%s': trailing data after the last expected "
+             "chunk — the saving and restoring configurations differ",
+             des.origin().c_str());
+
+    DPRINTF(system_.now(), "Device",
+            "%s: restored checkpoint '%s' at cycle %llu (status %llu)",
+            statsPrefix_.c_str(), des.origin().c_str(),
+            (unsigned long long)system_.now(),
+            (unsigned long long)regs_.status);
+}
+
+bool
+HwgcDevice::writeCheckpoint(const std::string &path) const
+{
+    checkpoint::Serializer ser;
+    saveCheckpoint(ser);
+    return ser.writeFile(path);
+}
+
+void
+HwgcDevice::restoreCheckpoint(const std::string &path)
+{
+    checkpoint::Deserializer des = checkpoint::Deserializer::fromFile(path);
+    restoreCheckpoint(des);
+}
+
+void
+HwgcDevice::armCheckpoint(const std::string &path, Tick at)
+{
+    checkpointOut_ = path;
+    checkpointAt_ = at;
+    checkpointAtDone_ = false;
+    if (checkpointOut_.empty()) {
+        if (crashHookInstalled_) {
+            setCrashHook(nullptr, nullptr);
+            crashHookInstalled_ = false;
+        }
+        return;
+    }
+    setCrashHook(&HwgcDevice::crashHook, this);
+    crashHookInstalled_ = true;
+}
+
+void
+HwgcDevice::writePhaseCheckpoint()
+{
+    // The after-every-pause mode (--checkpoint-out= without
+    // --checkpoint-at=): the file always holds the latest post-phase
+    // state, so a crashed or aborted multi-pause run can resume from
+    // its last completed pause.
+    if (checkpointOut_.empty() || checkpointAt_ != 0) {
+        return;
+    }
+    writeCheckpoint(checkpointOut_);
+}
+
+void
+HwgcDevice::crashHook(void *ctx)
+{
+    static_cast<HwgcDevice *>(ctx)->writeCrashDump();
+}
+
+void
+HwgcDevice::writeCrashDump()
+{
+    // The stats dump first: it only reads counters, so it succeeds
+    // even when the failure struck mid-tick.
+    telemetry::RunMetadata meta;
+    meta.binary = "crash-dump";
+    meta.config = configSignature();
+    meta.simCycles = system_.now();
+    telemetry::StatsRegistry::global().exportJsonFile(
+        checkpointOut_ + ".stats.json", meta);
+    inform("crash dump: wrote '%s.stats.json'", checkpointOut_.c_str());
+    // Best-effort architectural snapshot. A mid-tick failure can make
+    // component state unserializable (the save() invariants fire); the
+    // hook is cleared before it runs, so that second failure cannot
+    // recurse — the original diagnostic is already on stderr.
+    if (writeCheckpoint(checkpointOut_ + ".crash")) {
+        inform("crash dump: wrote '%s.crash'", checkpointOut_.c_str());
     }
 }
 

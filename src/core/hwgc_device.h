@@ -25,6 +25,7 @@
 #include "core/tracer.h"
 #include "mem/timed_cache.h"
 #include "runtime/heap.h"
+#include "sim/checkpoint.h"
 #include "sim/telemetry.h"
 
 namespace hwgc::core
@@ -93,6 +94,45 @@ class HwgcDevice
     /** Resets every statistic in the device and its memory side. */
     void resetStats();
 
+    /**
+     * @name Checkpointing (DESIGN.md §9)
+     *
+     * A checkpoint captures the complete architectural state of the
+     * device and its memory side at an inter-cycle boundary: the MMIO
+     * registers and phase status, the kernel clock, every registered
+     * component's queues/registers/statistics, the trace queue, and
+     * the functional memory image. Restoring into an identically
+     * configured device resumes the run bit-identically — same final
+     * cycle count, same statistics — under any of the three kernels
+     * (kernel mode and host threading are host knobs, not state).
+     * @{
+     */
+
+    /** Serializes the full device state into @p ser. */
+    void saveCheckpoint(checkpoint::Serializer &ser) const;
+
+    /** Restores state written by saveCheckpoint(); mismatch fatals. */
+    void restoreCheckpoint(checkpoint::Deserializer &des);
+
+    /** saveCheckpoint() to @p path; returns false (warn) on I/O error. */
+    bool writeCheckpoint(const std::string &path) const;
+
+    /** restoreCheckpoint() from @p path; unreadable/corrupt fatals. */
+    void restoreCheckpoint(const std::string &path);
+
+    /**
+     * Arms checkpoint output: the device writes @p path after every
+     * completed GC phase, or — when @p at is nonzero — once, at the
+     * first inter-cycle boundary at or after device cycle @p at (even
+     * mid-phase). Arming also installs a crash hook that dumps
+     * "<path>.crash" plus "<path>.stats.json" on any panic()/fatal()
+     * for post-mortem inspection (examples/heap_inspector).
+     * configure() arms automatically from --checkpoint-out= /
+     * HWGC_CHECKPOINT_OUT; an empty @p path disarms.
+     */
+    void armCheckpoint(const std::string &path, Tick at = 0);
+    /** @} */
+
     /** @name Component access for benches and tests @{ */
     Marker &marker() { return *marker_; }
     Tracer &tracer() { return *tracer_; }
@@ -119,8 +159,27 @@ class HwgcDevice
 
   private:
     /** Steps the system until the given phase-done predicate holds
-     *  and the memory side has drained. */
+     *  and the memory side has drained, pausing at an armed
+     *  --checkpoint-at= boundary to write the checkpoint. */
     Tick runUntil(const char *phase);
+
+    /**
+     * Architectural configuration fingerprint embedded in every
+     * checkpoint. Deliberately excludes the kernel mode and host
+     * threading/partition knobs: those change host execution only, so
+     * a checkpoint saved under one kernel restores under any other.
+     */
+    std::string configSignature() const;
+
+    /** Installs the PTW's (owner, token) -> walk-callback factory. */
+    void installWalkResolver();
+
+    /** Writes the armed checkpoint after a completed phase. */
+    void writePhaseCheckpoint();
+
+    /** The panic()/fatal() hook target (see armCheckpoint()). */
+    static void crashHook(void *ctx);
+    void writeCrashDump();
 
     HwgcConfig config_;
     mem::PhysMem &mem_;
@@ -162,6 +221,13 @@ class HwgcDevice
     std::vector<std::unique_ptr<stats::Group>> statGroups_;
     std::vector<std::string> statPaths_;
     std::unique_ptr<telemetry::SystemTracer> sysTracer_;
+
+    /** @name Armed checkpoint output (see armCheckpoint()) @{ */
+    std::string checkpointOut_;
+    Tick checkpointAt_ = 0;
+    bool checkpointAtDone_ = false;
+    bool crashHookInstalled_ = false;
+    /** @} */
 };
 
 } // namespace hwgc::core

@@ -75,6 +75,36 @@ class MarkBitCache
 
     void clear() { slots_.clear(); }
 
+    void
+    save(checkpoint::Serializer &ser) const
+    {
+        ser.putU64(useCounter_);
+        ser.putU64(slots_.size());
+        for (const auto &e : slots_) {
+            ser.putU64(e.first);
+            ser.putU64(e.second);
+        }
+    }
+
+    void
+    restore(checkpoint::Deserializer &des)
+    {
+        useCounter_ = des.getU64();
+        const std::uint64_t count = des.getU64();
+        fatal_if(count > entries_,
+                 "checkpoint '%s': mark-bit cache holds %llu entries "
+                 "but has capacity %u — configurations differ",
+                 des.origin().c_str(), (unsigned long long)count,
+                 entries_);
+        slots_.clear();
+        slots_.reserve(std::size_t(count));
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const Addr ref = des.getU64();
+            const std::uint64_t use = des.getU64();
+            slots_.emplace_back(ref, use);
+        }
+    }
+
   private:
     unsigned entries_;
     std::vector<std::pair<Addr, std::uint64_t>> slots_;
@@ -100,6 +130,14 @@ class Marker : public Clocked, public mem::MemResponder
     bool busy() const override { return !idle(); }
     Tick nextWakeup(Tick now) const override;
     void fastForward(Tick from, Tick to) override;
+    void save(checkpoint::Serializer &ser) const override;
+    void restore(checkpoint::Deserializer &des) override;
+
+    /**
+     * Re-creates the page-walk completion callback for walk-waiter
+     * slot @p token (used by the PTW callback resolver on restore).
+     */
+    mem::Ptw::WalkCallback walkCallback(std::uint64_t token);
 
     /** In-flight mark reads (for the coupled-tracer ablation). */
     unsigned inFlight() const { return inFlightReads_; }

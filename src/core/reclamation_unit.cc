@@ -108,14 +108,7 @@ ReclamationUnit::tick(Tick now)
     if (!pa) {
         if (ptw_.canRequest()) {
             walkPending_ = true;
-            ptw_.requestWalk(entry_va,
-                             [this](bool valid, Addr va, Addr wpa,
-                                    unsigned page_bits) {
-                fatal_if(!valid, "block table unmapped at %#llx",
-                         (unsigned long long)va);
-                readerTlb_.insert(va, wpa, page_bits);
-                walkPending_ = false;
-            });
+            ptw_.requestWalk(entry_va, walkCallback(), name());
         }
         return;
     }
@@ -151,6 +144,49 @@ ReclamationUnit::nextWakeup(Tick now) const
         return walkPending_ ? maxTick : now;
     }
     return maxTick; // Draining sweepers only.
+}
+
+mem::Ptw::WalkCallback
+ReclamationUnit::walkCallback()
+{
+    return [this](bool valid, Addr va, Addr wpa, unsigned page_bits) {
+        fatal_if(!valid, "block table unmapped at %#llx",
+                 (unsigned long long)va);
+        readerTlb_.insert(va, wpa, page_bits);
+        walkPending_ = false;
+    };
+}
+
+void
+ReclamationUnit::save(checkpoint::Serializer &ser) const
+{
+    ser.putU64(tableVa_);
+    ser.putU64(nextBlock_);
+    ser.putU64(blockCount_);
+    ser.putBool(entryReadPending_);
+    ser.putBool(entryReady_);
+    ser.putU64(pendingJob_.entryVa);
+    ser.putU64(pendingJob_.baseVa);
+    ser.putU64(pendingJob_.cellBytes);
+    ser.putBool(walkPending_);
+    checkpoint::putStat(ser, dispatched_);
+    readerTlb_.save(ser);
+}
+
+void
+ReclamationUnit::restore(checkpoint::Deserializer &des)
+{
+    tableVa_ = des.getU64();
+    nextBlock_ = des.getU64();
+    blockCount_ = des.getU64();
+    entryReadPending_ = des.getBool();
+    entryReady_ = des.getBool();
+    pendingJob_.entryVa = des.getU64();
+    pendingJob_.baseVa = des.getU64();
+    pendingJob_.cellBytes = unsigned(des.getU64());
+    walkPending_ = des.getBool();
+    checkpoint::getStat(des, dispatched_);
+    readerTlb_.restore(des);
 }
 
 std::uint64_t

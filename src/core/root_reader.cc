@@ -91,14 +91,7 @@ RootReader::tick(Tick now)
     if (!pa) {
         if (ptw_.canRequest()) {
             walkPending_ = true;
-            ptw_.requestWalk(cursor_,
-                             [this](bool valid, Addr va, Addr wpa,
-                                    unsigned page_bits) {
-                fatal_if(!valid, "hwgc-space unmapped at %#llx",
-                         (unsigned long long)va);
-                tlb_.insert(va, wpa, page_bits);
-                walkPending_ = false;
-            });
+            ptw_.requestWalk(cursor_, walkCallback(), name());
         }
         return;
     }
@@ -128,6 +121,52 @@ RootReader::nextWakeup(Tick now) const
         return walkPending_ ? maxTick : now;
     }
     return maxTick; // Only in-flight reads remain (onResponse).
+}
+
+mem::Ptw::WalkCallback
+RootReader::walkCallback()
+{
+    return [this](bool valid, Addr va, Addr wpa, unsigned page_bits) {
+        fatal_if(!valid, "hwgc-space unmapped at %#llx",
+                 (unsigned long long)va);
+        tlb_.insert(va, wpa, page_bits);
+        walkPending_ = false;
+    };
+}
+
+void
+RootReader::save(checkpoint::Serializer &ser) const
+{
+    ser.putU64(base_);
+    ser.putU64(cursor_);
+    ser.putU64(end_);
+    ser.putU64(inFlight_);
+    ser.putU64(pending_.size());
+    for (const Addr ref : pending_) {
+        ser.putU64(ref);
+    }
+    ser.putBool(walkPending_);
+    ser.putU64(doneAt_);
+    checkpoint::putStat(ser, rootsRead_);
+    tlb_.save(ser);
+}
+
+void
+RootReader::restore(checkpoint::Deserializer &des)
+{
+    base_ = des.getU64();
+    cursor_ = des.getU64();
+    end_ = des.getU64();
+    inFlight_ = unsigned(des.getU64());
+    pending_.clear();
+    const std::uint64_t num_pending = des.getU64();
+    for (std::uint64_t i = 0; i < num_pending; ++i) {
+        pending_.push_back(des.getU64());
+    }
+    walkPending_ = des.getBool();
+    doneAt_ = des.getU64();
+    checkpoint::getStat(des, rootsRead_);
+    tlb_.restore(des);
 }
 
 void

@@ -56,6 +56,11 @@ class Tracer : public Clocked, public mem::MemResponder
     bool busy() const override { return !idle(); }
     Tick nextWakeup(Tick now) const override;
     void fastForward(Tick from, Tick to) override;
+    void save(checkpoint::Serializer &ser) const override;
+    void restore(checkpoint::Deserializer &des) override;
+
+    /** Re-creates the page-walk completion callback (restore path). */
+    mem::Ptw::WalkCallback walkCallback();
 
     void reset();
     void resetStats();

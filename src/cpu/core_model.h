@@ -84,6 +84,11 @@ class CoreModel
     /** Drops cache/TLB/predictor state (cold start between phases). */
     void flushMicroarchState();
 
+    /** @name Checkpointing (caches, TLB, predictor, counters) @{ */
+    void save(checkpoint::Serializer &ser) const;
+    void restore(checkpoint::Deserializer &des);
+    /** @} */
+
     void resetStats();
 
     /** @name Statistics @{ */

@@ -55,6 +55,11 @@ class AtomicCache
     /** Invalidates all lines (e.g. between benchmark iterations). */
     void flush();
 
+    /** @name Checkpointing (tag state + counters) @{ */
+    void save(checkpoint::Serializer &ser) const;
+    void restore(checkpoint::Deserializer &des);
+    /** @} */
+
     void resetStats();
 
     /** @name Statistics @{ */

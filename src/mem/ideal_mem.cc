@@ -7,6 +7,9 @@
 
 #include <algorithm>
 
+#include "mem/request.h"
+#include "sim/checkpoint.h"
+
 namespace hwgc::mem
 {
 
@@ -114,6 +117,49 @@ IdealMem::accessAtomic(const MemRequest &req, Tick now,
         mem_.execute(req, rdata);
     }
     return done - now;
+}
+
+void
+IdealMem::save(checkpoint::Serializer &ser) const
+{
+    // Checkpoints are only taken at inter-cycle boundaries, where the
+    // ParallelBsp staging buffer has been committed and cleared.
+    panic_if(!stagedDeliveries_.empty(),
+             "memory '%s' checkpointed mid-evaluate", name().c_str());
+    ser.putU64(busFreeAt_);
+    ser.putU64(inFlight_);
+    // Drain a copy of the priority queue so completions serialize in
+    // deterministic (time-sorted) order, not heap order.
+    auto completions = completions_;
+    ser.putU64(completions.size());
+    while (!completions.empty()) {
+        const Completion &c = completions.top();
+        ser.putU64(c.at);
+        saveRequest(ser, c.req);
+        completions.pop();
+    }
+    checkpoint::putStat(ser, numRequests_);
+    checkpoint::putStat(ser, bytesMoved_);
+    checkpoint::putStat(ser, bandwidth_);
+}
+
+void
+IdealMem::restore(checkpoint::Deserializer &des)
+{
+    stagedDeliveries_.clear();
+    busFreeAt_ = des.getU64();
+    inFlight_ = unsigned(des.getU64());
+    completions_ = {};
+    const std::uint64_t num_completions = des.getU64();
+    for (std::uint64_t i = 0; i < num_completions; ++i) {
+        Completion c;
+        c.at = des.getU64();
+        c.req = restoreRequest(des);
+        completions_.push(c);
+    }
+    checkpoint::getStat(des, numRequests_);
+    checkpoint::getStat(des, bytesMoved_);
+    checkpoint::getStat(des, bandwidth_);
 }
 
 void

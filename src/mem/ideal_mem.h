@@ -56,6 +56,8 @@ class IdealMem : public MemDevice
 
     void tick(Tick now) override;
     bool busy() const override;
+    void save(checkpoint::Serializer &ser) const override;
+    void restore(checkpoint::Deserializer &des) override;
 
     /** ParallelBsp: applies deliveries staged by this cycle's tick
      *  (same scheme as Dram::bspCommit, see there). */

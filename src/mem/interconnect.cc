@@ -289,6 +289,86 @@ Interconnect::bspPublish()
     }
 }
 
+void
+Interconnect::save(checkpoint::Serializer &ser) const
+{
+    // Checkpoints are taken at inter-cycle boundaries, where BSP
+    // staging buffers are empty by the kernel's invariants.
+    panic_if(!stagedSends_.empty() || !stagedGrants_.empty() ||
+                 !stagedDeliveries_.empty(),
+             "bus '%s' checkpointed mid-evaluate", name().c_str());
+    ser.putU64(ports_.size());
+    for (const auto &port : ports_) {
+        ser.putU64(port.requests.size());
+        for (const auto &tr : port.requests) {
+            saveRequest(ser, tr.req);
+            ser.putU64(tr.readyAt);
+        }
+    }
+    ser.putU64(pendingResponses_.size());
+    for (const auto &tr : pendingResponses_) {
+        saveResponse(ser, tr.resp);
+        ser.putU64(tr.readyAt);
+    }
+    ser.putU64(rrNext_);
+    ser.putDouble(throttleTokens_);
+    for (const unsigned size : publishedSize_) {
+        ser.putU64(size);
+    }
+    for (const auto &s : portRequests_) {
+        checkpoint::putStat(ser, s);
+    }
+    for (const auto &s : portBytes_) {
+        checkpoint::putStat(ser, s);
+    }
+    checkpoint::putStat(ser, throttledGrants_);
+    checkpoint::putStat(ser, busBusy_);
+    checkpoint::putStat(ser, cycles_);
+}
+
+void
+Interconnect::restore(checkpoint::Deserializer &des)
+{
+    const std::uint64_t num_ports = des.getU64();
+    fatal_if(num_ports != ports_.size(),
+             "checkpoint '%s': bus '%s' has %llu clients but this "
+             "configuration has %zu — topologies differ",
+             des.origin().c_str(), name().c_str(),
+             (unsigned long long)num_ports, ports_.size());
+    for (auto &port : ports_) {
+        port.requests.clear();
+        const std::uint64_t depth = des.getU64();
+        for (std::uint64_t i = 0; i < depth; ++i) {
+            TimedReq tr;
+            tr.req = restoreRequest(des);
+            tr.readyAt = des.getU64();
+            port.requests.push_back(tr);
+        }
+    }
+    pendingResponses_.clear();
+    const std::uint64_t num_resp = des.getU64();
+    for (std::uint64_t i = 0; i < num_resp; ++i) {
+        TimedResp tr;
+        tr.resp = restoreResponse(des);
+        tr.readyAt = des.getU64();
+        pendingResponses_.push_back(tr);
+    }
+    rrNext_ = unsigned(des.getU64());
+    throttleTokens_ = des.getDouble();
+    for (auto &size : publishedSize_) {
+        size = unsigned(des.getU64());
+    }
+    for (auto &s : portRequests_) {
+        checkpoint::getStat(des, s);
+    }
+    for (auto &s : portBytes_) {
+        checkpoint::getStat(des, s);
+    }
+    checkpoint::getStat(des, throttledGrants_);
+    checkpoint::getStat(des, busBusy_);
+    checkpoint::getStat(des, cycles_);
+}
+
 bool
 Interconnect::busy() const
 {

@@ -80,6 +80,8 @@ class Interconnect : public Clocked, public MemResponder
     bool busy() const override;
     Tick nextWakeup(Tick now) const override;
     void fastForward(Tick from, Tick to) override;
+    void save(checkpoint::Serializer &ser) const override;
+    void restore(checkpoint::Deserializer &des) override;
 
     // ParallelBsp staging (see DESIGN.md §8). During the evaluate
     // phase the bus runs in its own partition, so every boundary

@@ -5,6 +5,8 @@
 
 #include "ptw.h"
 
+#include "sim/checkpoint.h"
+
 namespace hwgc::mem
 {
 
@@ -17,11 +19,12 @@ Ptw::Ptw(std::string name, const PtwParams &params,
 }
 
 void
-Ptw::requestWalk(Addr va, WalkCallback cb)
+Ptw::requestWalk(Addr va, WalkCallback cb, std::string owner,
+                 std::uint64_t token)
 {
     pokeWakeup(); // A queued walk can start on the next cycle.
     panic_if(!canRequest(), "PTW queue overflow");
-    queue_.push_back({va, std::move(cb)});
+    queue_.push_back({va, std::move(cb), std::move(owner), token});
 }
 
 void
@@ -46,7 +49,9 @@ Ptw::finishWalk(bool valid, Addr pa, unsigned page_bits, Tick now)
         l2Tlb_.insert(current_.va, pa, page_bits);
     }
     pendingCallbacks_.push_back({now + 1, valid, current_.va, pa,
-                                 page_bits, std::move(current_.cb)});
+                                 page_bits, std::move(current_.cb),
+                                 std::move(current_.owner),
+                                 current_.token});
     walking_ = false;
     awaitingResponse_ = false;
 }
@@ -96,7 +101,9 @@ Ptw::tick(Tick now)
         pendingCallbacks_.push_back({now + params_.l2TlbLatency, true,
                                      current_.va, hit->first,
                                      hit->second,
-                                     std::move(current_.cb)});
+                                     std::move(current_.cb),
+                                     std::move(current_.owner),
+                                     current_.token});
         return;
     }
     ++walks_;
@@ -131,6 +138,128 @@ Ptw::nextWakeup(Tick now) const
         return now; // A new walk can start.
     }
     return next;
+}
+
+Ptw::WalkCallback
+Ptw::resolveCallback(const std::string &owner, std::uint64_t token,
+                     const std::string &origin) const
+{
+    fatal_if(!resolver_,
+             "checkpoint '%s': PTW '%s' has in-flight walks but no "
+             "callback resolver is installed",
+             origin.c_str(), name().c_str());
+    WalkCallback cb = resolver_(owner, token);
+    fatal_if(!cb,
+             "checkpoint '%s': PTW '%s' cannot re-create the walk "
+             "callback for owner '%s' token %llu",
+             origin.c_str(), name().c_str(), owner.c_str(),
+             (unsigned long long)token);
+    return cb;
+}
+
+void
+Ptw::save(checkpoint::Serializer &ser) const
+{
+    ser.putU64(queue_.size());
+    for (const auto &r : queue_) {
+        panic_if(r.owner.empty(),
+                 "PTW '%s': cannot checkpoint a walk request issued "
+                 "without an owner identity",
+                 name().c_str());
+        ser.putU64(r.va);
+        ser.putString(r.owner);
+        ser.putU64(r.token);
+    }
+    ser.putU64(pendingCallbacks_.size());
+    for (const auto &pc : pendingCallbacks_) {
+        panic_if(pc.owner.empty(),
+                 "PTW '%s': cannot checkpoint a walk callback issued "
+                 "without an owner identity",
+                 name().c_str());
+        ser.putU64(pc.readyAt);
+        ser.putBool(pc.valid);
+        ser.putU64(pc.va);
+        ser.putU64(pc.pa);
+        ser.putU64(pc.pageBits);
+        ser.putString(pc.owner);
+        ser.putU64(pc.token);
+    }
+    ser.putBool(walking_);
+    ser.putBool(awaitingResponse_);
+    if (walking_) {
+        panic_if(current_.owner.empty(),
+                 "PTW '%s': cannot checkpoint the current walk: it was "
+                 "issued without an owner identity",
+                 name().c_str());
+        ser.putU64(current_.va);
+        ser.putString(current_.owner);
+        ser.putU64(current_.token);
+        ser.putBool(walkPlan_.valid);
+        ser.putU64(walkPlan_.pa);
+        for (const Addr a : walkPlan_.pteAddr) {
+            ser.putU64(a);
+        }
+        ser.putU64(walkPlan_.levels);
+        ser.putU64(walkPlan_.pageBits);
+        ser.putU64(level_);
+    }
+    checkpoint::putStat(ser, walks_);
+    checkpoint::putStat(ser, l2Hits_);
+    checkpoint::putStat(ser, pteFetches_);
+    l2Tlb_.save(ser);
+}
+
+void
+Ptw::restore(checkpoint::Deserializer &des)
+{
+    queue_.clear();
+    const std::uint64_t num_queued = des.getU64();
+    for (std::uint64_t i = 0; i < num_queued; ++i) {
+        WalkRequest r;
+        r.va = des.getU64();
+        r.owner = des.getString();
+        r.token = des.getU64();
+        r.cb = resolveCallback(r.owner, r.token, des.origin());
+        queue_.push_back(std::move(r));
+    }
+    pendingCallbacks_.clear();
+    const std::uint64_t num_pending = des.getU64();
+    for (std::uint64_t i = 0; i < num_pending; ++i) {
+        PendingCallback pc;
+        pc.readyAt = des.getU64();
+        pc.valid = des.getBool();
+        pc.va = des.getU64();
+        pc.pa = des.getU64();
+        pc.pageBits = unsigned(des.getU64());
+        pc.owner = des.getString();
+        pc.token = des.getU64();
+        pc.cb = resolveCallback(pc.owner, pc.token, des.origin());
+        pendingCallbacks_.push_back(std::move(pc));
+    }
+    walking_ = des.getBool();
+    awaitingResponse_ = des.getBool();
+    current_ = {};
+    walkPlan_ = {};
+    level_ = 0;
+    if (walking_) {
+        current_.va = des.getU64();
+        current_.owner = des.getString();
+        current_.token = des.getU64();
+        current_.cb = resolveCallback(current_.owner, current_.token,
+                                      des.origin());
+        walkPlan_.valid = des.getBool();
+        walkPlan_.pa = des.getU64();
+        for (auto &a : walkPlan_.pteAddr) {
+            a = des.getU64();
+        }
+        walkPlan_.levels = unsigned(des.getU64());
+        walkPlan_.pageBits = unsigned(des.getU64());
+        level_ = unsigned(des.getU64());
+    }
+    checkpoint::getStat(des, walks_);
+    checkpoint::getStat(des, l2Hits_);
+    checkpoint::getStat(des, pteFetches_);
+    l2Tlb_.restore(des);
 }
 
 void

@@ -50,6 +50,15 @@ class Ptw : public Clocked, public MemResponder
     using WalkCallback = std::function<void(bool, Addr, Addr, unsigned)>;
 
     /**
+     * Re-creates a walk callback from its (owner, token) identity when
+     * a checkpoint is restored. @p owner is the requesting component's
+     * name; @p token is requester-defined (e.g. a slot index).
+     */
+    using CallbackResolver =
+        std::function<WalkCallback(const std::string &owner,
+                                   std::uint64_t token)>;
+
+    /**
      * @param port Where PTE fetches are sent (the walker does not own
      *        it). Must be wired so responses come back to this Ptw.
      */
@@ -59,8 +68,25 @@ class Ptw : public Clocked, public MemResponder
     /** True if another walk request can be queued. */
     bool canRequest() const { return queue_.size() < params_.queueDepth; }
 
-    /** Queues a walk for @p va; @p cb fires when it resolves. */
-    void requestWalk(Addr va, WalkCallback cb);
+    /**
+     * Queues a walk for @p va; @p cb fires when it resolves.
+     *
+     * Callbacks are opaque closures and cannot be serialized, so each
+     * request also carries its identity — the requester's component
+     * name (@p owner) plus a requester-defined @p token — from which
+     * the CallbackResolver re-creates the closure after a checkpoint
+     * restore. Requests without an owner work normally but make the
+     * containing system un-checkpointable while in flight.
+     */
+    void requestWalk(Addr va, WalkCallback cb, std::string owner = {},
+                     std::uint64_t token = 0);
+
+    /** Installs the restore-time (owner, token) -> callback factory. */
+    void
+    setCallbackResolver(CallbackResolver resolver)
+    {
+        resolver_ = std::move(resolver);
+    }
 
     // MemResponder interface (PTE fetch completions).
     void onResponse(const MemResponse &resp, Tick now) override;
@@ -69,6 +95,8 @@ class Ptw : public Clocked, public MemResponder
     void tick(Tick now) override;
     bool busy() const override;
     Tick nextWakeup(Tick now) const override;
+    void save(checkpoint::Serializer &ser) const override;
+    void restore(checkpoint::Deserializer &des) override;
 
     /** The shared second-level TLB (flush between phases). */
     TlbArray &l2Tlb() { return l2Tlb_; }
@@ -95,6 +123,8 @@ class Ptw : public Clocked, public MemResponder
     {
         Addr va = 0;
         WalkCallback cb;
+        std::string owner;        //!< Requester name (restore identity).
+        std::uint64_t token = 0;  //!< Requester-defined (restore identity).
     };
 
     struct PendingCallback
@@ -105,12 +135,19 @@ class Ptw : public Clocked, public MemResponder
         Addr pa;
         unsigned pageBits;
         WalkCallback cb;
+        std::string owner;
+        std::uint64_t token = 0;
     };
 
     /** Issues the PTE fetch for the current level if the port has room. */
     void issueLevel(Tick now);
 
     void finishWalk(bool valid, Addr pa, unsigned page_bits, Tick now);
+
+    /** Rebuilds a callback from its saved identity via the resolver. */
+    WalkCallback resolveCallback(const std::string &owner,
+                                 std::uint64_t token,
+                                 const std::string &origin) const;
 
     PtwParams params_;
     const PageTable &pageTable_;
@@ -126,6 +163,8 @@ class Ptw : public Clocked, public MemResponder
     WalkRequest current_;
     PageTable::WalkResult walkPlan_;
     unsigned level_ = 0;
+
+    CallbackResolver resolver_;
 
     stats::Scalar walks_{"walks"};
     stats::Scalar l2Hits_{"l2TlbHits"};

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/checkpoint.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -119,6 +120,46 @@ class TlbArray
     }
 
     const std::string &name() const { return name_; }
+
+    /** Serializes the translation array and hit/miss statistics. */
+    void
+    save(checkpoint::Serializer &ser) const
+    {
+        ser.putU64(useCounter_);
+        ser.putU64(slots_.size());
+        for (const auto &e : slots_) {
+            ser.putU64(e.vpage);
+            ser.putU64(e.ppage);
+            ser.putU64(e.pageBits);
+            ser.putU64(e.lastUse);
+        }
+        checkpoint::putStat(ser, hits_);
+        checkpoint::putStat(ser, misses_);
+    }
+
+    void
+    restore(checkpoint::Deserializer &des)
+    {
+        useCounter_ = des.getU64();
+        const std::uint64_t count = des.getU64();
+        fatal_if(count > entries_,
+                 "checkpoint '%s': TLB '%s' holds %llu entries but has "
+                 "capacity %u — configurations differ",
+                 des.origin().c_str(), name_.c_str(),
+                 (unsigned long long)count, entries_);
+        slots_.clear();
+        slots_.reserve(std::size_t(count));
+        for (std::uint64_t i = 0; i < count; ++i) {
+            Entry e;
+            e.vpage = des.getU64();
+            e.ppage = des.getU64();
+            e.pageBits = unsigned(des.getU64());
+            e.lastUse = des.getU64();
+            slots_.push_back(e);
+        }
+        checkpoint::getStat(des, hits_);
+        checkpoint::getStat(des, misses_);
+    }
 
   private:
     struct Entry

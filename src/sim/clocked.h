@@ -48,6 +48,12 @@ namespace hwgc
 class System;
 class ParallelKernel;
 
+namespace checkpoint
+{
+class Serializer;
+class Deserializer;
+} // namespace checkpoint
+
 namespace detail
 {
 /**
@@ -182,6 +188,19 @@ class Clocked
 
     /** Whether bspCommit()/bspPublish() are overridden. */
     bool hasBspHooks() const { return hasBspHooks_; }
+
+    /**
+     * Serializes this component's complete architectural state —
+     * registers, queues, in-flight bookkeeping and statistics — into
+     * an already-open checkpoint chunk. Only legal at an inter-cycle
+     * boundary (never mid-tick). The default implementation panics:
+     * every component registered with a checkpointed System must
+     * override both save() and restore() (defined in checkpoint.cc).
+     */
+    virtual void save(checkpoint::Serializer &ser) const;
+
+    /** Restores state written by save(); layout mismatches fatal(). */
+    virtual void restore(checkpoint::Deserializer &des);
 
     const std::string &name() const { return name_; }
 
@@ -480,6 +499,80 @@ class System
         }
     }
 
+    /** Why runUntilIdleStop() returned. */
+    enum class StopReason
+    {
+        Idle,    //!< Every component went idle.
+        Budget,  //!< max_cycles elapsed (callers treat as deadlock).
+        Stopped, //!< The clock reached stop_at (checkpoint boundary).
+    };
+
+    /**
+     * runUntilIdle(), but additionally returns control the moment the
+     * clock reaches @p stop_at, at a clean inter-cycle boundary. The
+     * event/BSP kernels clamp their fast-forward jumps at the stop
+     * cycle, so the boundary always exists; because per-cycle
+     * fastForward() accounting is additive over adjacent spans and
+     * nextWakeup() is pure, the split changes no simulated state — a
+     * stopped-and-continued run stays bit-identical to an
+     * uninterrupted one. This is the checkpoint-at hook.
+     */
+    StopReason
+    runUntilIdleStop(Tick stop_at, Tick max_cycles = 2'000'000'000ULL)
+    {
+        if (now_ >= stop_at) {
+            return StopReason::Stopped;
+        }
+        const Tick limit = saturatingLimit(max_cycles);
+        if (now_ >= limit) {
+            return StopReason::Budget;
+        }
+        if (!anyBusy()) {
+            return StopReason::Idle;
+        }
+        dirty_ = ~std::uint64_t(0);
+        if (mode_ == KernelMode::Dense) {
+            while (now_ < limit) {
+                if (now_ >= stop_at) {
+                    return StopReason::Stopped;
+                }
+                if (!step()) {
+                    return StopReason::Idle;
+                }
+            }
+            return StopReason::Budget;
+        }
+        while (now_ < limit) {
+            if (now_ >= stop_at) {
+                return StopReason::Stopped;
+            }
+            const CyclePass pass = passCycle();
+            if (pass.ticked) {
+                if (!anyBusy()) {
+                    return StopReason::Idle;
+                }
+                continue;
+            }
+            fastForwardTo(std::min({pass.next, limit, stop_at}));
+        }
+        return StopReason::Budget;
+    }
+
+    /**
+     * Serializes the kernel state (clock, executed-cycle count, the
+     * scheduled-wakeup queue, the due mask) into an open chunk. The
+     * wakeup caches are deliberately *not* serialized: nextWakeup()
+     * is a pure function of component state and every run entry point
+     * marks all caches stale, so restore() rebuilds them exactly.
+     * Kernel mode, host threads and partitions are host-execution
+     * knobs, not architectural state — a checkpoint saved under one
+     * kernel restores under any other. Defined in checkpoint.cc.
+     */
+    void save(checkpoint::Serializer &ser) const;
+
+    /** Restores kernel state written by save(). */
+    void restore(checkpoint::Deserializer &des);
+
   private:
     Tick
     saturatingLimit(Tick cycles) const
@@ -615,6 +708,27 @@ class System
     {
         if (target <= now_) {
             return;
+        }
+        // The jump target was folded from wakeups read at each
+        // component's turn in the pass — but a later component's
+        // per-cycle fastForward() handler may have poked an earlier
+        // one, lowering a wakeup the fold already captured. Those
+        // pokes are exactly the dirty bits set since the poll, so
+        // re-poll every stale component and clamp the jump before
+        // committing it. Bits stay set: the next executed pass
+        // re-polls (and clears) them through the normal path.
+        const std::uint64_t registered =
+            components_.size() >= 64
+                ? ~std::uint64_t(0)
+                : (std::uint64_t(1) << components_.size()) - 1;
+        for (std::uint64_t stale = dirty_ & registered; stale != 0;
+             stale &= stale - 1) {
+            const auto i = std::size_t(__builtin_ctzll(stale));
+            target = std::min(target,
+                              components_[i]->nextWakeup(now_));
+        }
+        if (target <= now_) {
+            return; // A poked component is due now: no jump at all.
         }
         for (auto *c : components_) {
             if (c->hasFastForward()) {

@@ -32,7 +32,32 @@ vreport(const char *prefix, const char *fmt, std::va_list ap)
     std::fprintf(stderr, "\n");
 }
 
+void (*crashHook)(void *ctx) = nullptr;
+void *crashHookCtx = nullptr;
+
+/** Runs the crash hook at most once (clears it first, so a failure
+ *  inside the hook falls straight through to termination). */
+void
+runCrashHook()
+{
+    if (crashHook == nullptr) {
+        return;
+    }
+    void (*hook)(void *) = crashHook;
+    void *ctx = crashHookCtx;
+    crashHook = nullptr;
+    crashHookCtx = nullptr;
+    hook(ctx);
+}
+
 } // namespace
+
+void
+setCrashHook(void (*hook)(void *ctx), void *ctx)
+{
+    crashHook = hook;
+    crashHookCtx = ctx;
+}
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
@@ -43,6 +68,7 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     std::vfprintf(stderr, fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "\n");
+    runCrashHook();
     std::abort();
 }
 
@@ -55,6 +81,7 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     std::vfprintf(stderr, fmt, ap);
     va_end(ap);
     std::fprintf(stderr, "\n");
+    runCrashHook();
     std::exit(1);
 }
 

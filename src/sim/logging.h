@@ -30,6 +30,15 @@ namespace hwgc
                             const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 
+/**
+ * Installs a hook invoked once, after the error message is printed
+ * but before the process terminates, on any panic() or fatal(). Used
+ * by the checkpoint layer to write an automatic crash dump for
+ * post-mortem inspection. The hook is cleared before it runs (a
+ * failure inside the hook cannot recurse); nullptr uninstalls.
+ */
+void setCrashHook(void (*hook)(void *ctx), void *ctx);
+
 /** Prints a warning; the simulation continues. */
 void warnImpl(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

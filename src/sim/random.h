@@ -122,6 +122,22 @@ class Rng
         return lo;
     }
 
+    /** @name Checkpointing accessors for the four state words @{ */
+    std::uint64_t
+    stateWord(unsigned i) const
+    {
+        panic_if(i >= 4, "Rng::stateWord(%u)", i);
+        return state_[i];
+    }
+
+    void
+    setStateWord(unsigned i, std::uint64_t v)
+    {
+        panic_if(i >= 4, "Rng::setStateWord(%u)", i);
+        state_[i] = v;
+    }
+    /** @} */
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

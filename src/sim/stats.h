@@ -63,6 +63,15 @@ class Vector
 
     void reset() { values_.assign(values_.size(), 0); }
 
+    /** Overwrites one sub-counter (checkpoint restore). */
+    void
+    setValue(std::size_t idx, std::uint64_t v)
+    {
+        panic_if(idx >= values_.size(), "stats::Vector index %zu out of "
+                 "range for '%s'", idx, name_.c_str());
+        values_[idx] = v;
+    }
+
     std::uint64_t value(std::size_t idx) const { return values_.at(idx); }
 
     std::uint64_t
@@ -120,6 +129,21 @@ class Histogram
         buckets_.assign(buckets_.size(), 0);
     }
 
+    /** Overwrites the full distribution (checkpoint restore). */
+    void
+    restore(std::uint64_t count, std::uint64_t sum, std::uint64_t min,
+            std::uint64_t max, const std::vector<std::uint64_t> &buckets)
+    {
+        panic_if(buckets.size() != buckets_.size(),
+                 "stats::Histogram '%s' bucket count mismatch",
+                 name_.c_str());
+        count_ = count;
+        sum_ = sum;
+        min_ = min;
+        max_ = max;
+        buckets_ = buckets;
+    }
+
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
     std::uint64_t minValue() const { return min_; }
@@ -163,6 +187,12 @@ class TimeSeries
     }
 
     void reset() { buckets_.clear(); }
+
+    /** Overwrites the bucket contents (checkpoint restore). */
+    void setBuckets(std::vector<std::uint64_t> buckets)
+    {
+        buckets_ = std::move(buckets);
+    }
 
     Tick bucketWidth() const { return width_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cinttypes>
 #include <cstdlib>
@@ -17,9 +18,6 @@
 #include "sim/logging.h"
 
 namespace hwgc::telemetry
-{
-
-namespace
 {
 
 /** JSON string escaping (quotes, backslashes, control characters). */
@@ -46,6 +44,65 @@ jsonEscape(const std::string &s)
         }
     }
     return out;
+}
+
+unsigned
+parseHostThreads(const char *text, const char *source,
+                 unsigned fallback)
+{
+    if (text == nullptr || *text == '\0') {
+        warn("%s: empty thread count ignored", source);
+        return fallback;
+    }
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long v = std::strtoul(text, &end, 10);
+    // strtoul silently wraps negatives and stops at the first
+    // non-digit — both used to yield a surprise thread count.
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        text[0] == '-') {
+        warn("%s: unparseable thread count '%s' ignored", source,
+             text);
+        return fallback;
+    }
+    if (v == 0) {
+        warn("%s: thread count 0 clamped to 1 (omit the option for "
+             "auto-sizing)", source);
+        return 1;
+    }
+    constexpr unsigned long cap = 1UL << 16;
+    if (v > cap) {
+        warn("%s: thread count %lu clamped to %lu", source, v, cap);
+        return unsigned(cap);
+    }
+    return unsigned(v);
+}
+
+namespace
+{
+
+/**
+ * Strict u64 option parse: a value strtoull would silently truncate
+ * (trailing junk, a negative sign, overflow) keeps @p fallback with a
+ * warning instead of becoming a surprise cycle count.
+ */
+std::uint64_t
+parseU64Option(const char *text, const char *source,
+               std::uint64_t fallback)
+{
+    if (text == nullptr || *text == '\0') {
+        warn("%s: empty value ignored", source);
+        return fallback;
+    }
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        text[0] == '-') {
+        warn("%s: unparseable value '%s' ignored", source, text);
+        return fallback;
+    }
+    return v;
 }
 
 std::string
@@ -167,13 +224,25 @@ applyEnv()
         opts.traceOut = v;
     }
     if (const char *v = std::getenv("HWGC_STATS_INTERVAL")) {
-        opts.statsInterval = std::strtoull(v, nullptr, 10);
+        opts.statsInterval = parseU64Option(v, "HWGC_STATS_INTERVAL",
+                                            opts.statsInterval);
     }
     if (const char *v = std::getenv("HWGC_HOST_THREADS")) {
-        opts.hostThreads = unsigned(std::strtoul(v, nullptr, 10));
+        opts.hostThreads =
+            parseHostThreads(v, "HWGC_HOST_THREADS", opts.hostThreads);
     }
     if (const char *v = std::getenv("HWGC_HOST_PARTITION")) {
         opts.hostPartition = v;
+    }
+    if (const char *v = std::getenv("HWGC_CHECKPOINT_IN")) {
+        opts.checkpointIn = v;
+    }
+    if (const char *v = std::getenv("HWGC_CHECKPOINT_OUT")) {
+        opts.checkpointOut = v;
+    }
+    if (const char *v = std::getenv("HWGC_CHECKPOINT_AT")) {
+        opts.checkpointAt = parseU64Option(v, "HWGC_CHECKPOINT_AT",
+                                           opts.checkpointAt);
     }
     // HWGC_DEBUG is applied by a static initializer in logging.cc.
 }
@@ -196,14 +265,25 @@ parseArgs(int &argc, char **argv)
             opts.traceOut = v;
         } else if (const char *v =
                        valueOf(argv[i], "--stats-interval=")) {
-            opts.statsInterval = std::strtoull(v, nullptr, 10);
+            opts.statsInterval = parseU64Option(v, "--stats-interval",
+                                                opts.statsInterval);
         } else if (const char *v = valueOf(argv[i], "--debug-flags=")) {
             Debug::parseFlagList(v);
         } else if (const char *v = valueOf(argv[i], "--host-threads=")) {
-            opts.hostThreads = unsigned(std::strtoul(v, nullptr, 10));
+            opts.hostThreads =
+                parseHostThreads(v, "--host-threads", opts.hostThreads);
         } else if (const char *v =
                        valueOf(argv[i], "--host-partition=")) {
             opts.hostPartition = v;
+        } else if (const char *v = valueOf(argv[i], "--checkpoint-in=")) {
+            opts.checkpointIn = v;
+        } else if (const char *v =
+                       valueOf(argv[i], "--checkpoint-out=")) {
+            opts.checkpointOut = v;
+        } else if (const char *v =
+                       valueOf(argv[i], "--checkpoint-at=")) {
+            opts.checkpointAt = parseU64Option(v, "--checkpoint-at",
+                                               opts.checkpointAt);
         } else {
             argv[out++] = argv[i];
         }

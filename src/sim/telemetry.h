@@ -50,17 +50,59 @@ namespace hwgc::telemetry
 {
 
 /**
+ * JSON string escaping shared by every JSON emitter in the tree:
+ * quotes, backslashes and all control characters (bytes < 0x20 become
+ * \uXXXX), so user-supplied names (partition labels, stat paths)
+ * can never break an export.
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Validated parse of a ParallelBsp worker-thread count (the
+ * --host-threads= / HWGC_HOST_THREADS / HWGC_CONFIG paths). Returns
+ * @p fallback with a warning on unparseable or trailing-garbage
+ * input; an explicit "0" is clamped to 1 with a warning (a
+ * zero-thread worker pool cannot run — omit the option entirely for
+ * auto-sizing). @p source names the option in the warnings.
+ */
+unsigned parseHostThreads(const char *text, const char *source,
+                          unsigned fallback);
+
+/**
  * Process-wide telemetry + kernel options, settable from the CLI
  * (--stats-json=, --trace-out=, --stats-interval=, --debug-flags=,
- * --host-threads=, --host-partition=), the environment
+ * --host-threads=, --host-partition=, --checkpoint-in=,
+ * --checkpoint-out=, --checkpoint-at=), the environment
  * (HWGC_STATS_JSON, HWGC_TRACE_OUT, HWGC_STATS_INTERVAL, HWGC_DEBUG,
- * HWGC_HOST_THREADS, HWGC_HOST_PARTITION) or directly by tests.
+ * HWGC_HOST_THREADS, HWGC_HOST_PARTITION, HWGC_CHECKPOINT_IN,
+ * HWGC_CHECKPOINT_OUT, HWGC_CHECKPOINT_AT) or directly by tests.
  */
 struct Options
 {
     std::string statsJson;  //!< Stats JSON path ("" off, "-" stdout).
     std::string traceOut;   //!< Chrome trace path ("" off).
     Tick statsInterval = 0; //!< Snapshot/counter period (0 off).
+
+    /** @name Checkpointing (see sim/checkpoint.h, DESIGN.md §9) @{ */
+
+    /** Checkpoint to restore when the device is configured ("" off). */
+    std::string checkpointIn;
+
+    /**
+     * Checkpoint file to write ("" off). Arming this also installs a
+     * crash hook: on panic()/fatal() the device writes
+     * "<path>.crash" plus a "<path>.stats.json" registry dump for
+     * post-mortem inspection (examples/heap_inspector).
+     */
+    std::string checkpointOut;
+
+    /**
+     * Device cycle at which to write the checkpoint. 0 means "after
+     * every completed GC pause" (the warmup-reuse mode: the file
+     * always holds the latest post-sweep state).
+     */
+    Tick checkpointAt = 0;
+    /** @} */
 
     /**
      * ParallelBsp worker threads (0 = one per hardware core). Applied

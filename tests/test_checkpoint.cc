@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Checkpoint/restore tests: a checkpoint taken at any inter-cycle
+ * boundary — mid-mark via --checkpoint-at or after a completed phase —
+ * must restore into an identically configured device and finish the
+ * run bit-identically (same final cycle count, same full stats-JSON
+ * export) under every kernel, and corrupt or mismatched checkpoint
+ * files must be rejected with a fatal error, never silently
+ * mis-restored.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/hwgc_device.h"
+#include "sim/checkpoint.h"
+#include "sim/telemetry.h"
+#include "workload/graph_gen.h"
+
+namespace hwgc
+{
+namespace
+{
+
+using core::HwgcConfig;
+
+/** A heap + device built for one shape/seed (same rig as test_hwgc). */
+struct Rig
+{
+    Rig(const workload::GraphParams &graph, const HwgcConfig &config,
+        runtime::Layout layout = runtime::Layout::Bidirectional)
+        : heap(mem, makeHeapParams(layout)), builder(heap, graph)
+    {
+        builder.build();
+        heap.clearAllMarks();
+        heap.publishRoots();
+        device = std::make_unique<core::HwgcDevice>(
+            mem, heap.pageTable(), config);
+        device->configure(heap);
+    }
+
+    static runtime::HeapParams
+    makeHeapParams(runtime::Layout layout)
+    {
+        runtime::HeapParams params;
+        params.layout = layout;
+        return params;
+    }
+
+    mem::PhysMem mem;
+    runtime::Heap heap;
+    workload::GraphBuilder builder;
+    std::unique_ptr<core::HwgcDevice> device;
+};
+
+workload::GraphParams
+testGraph(std::uint64_t seed, std::uint64_t live = 900)
+{
+    workload::GraphParams p;
+    p.liveObjects = live;
+    p.garbageObjects = live / 2;
+    p.numRoots = 8;
+    p.arrayFraction = 0.15;
+    p.seed = seed;
+    return p;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** See test_determinism.cc: strip registry instance digits so exports
+ *  from different runs become directly comparable strings. */
+std::string
+normalizeInstanceIds(std::string s)
+{
+    for (const char *key : {"system.hwgc", "system.cpu"}) {
+        const std::size_t klen = std::strlen(key);
+        std::size_t pos = 0;
+        while ((pos = s.find(key, pos)) != std::string::npos) {
+            std::size_t digits = pos + klen;
+            std::size_t end = digits;
+            while (end < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[end]))) {
+                ++end;
+            }
+            s.replace(digits, end - digits, "#");
+            pos = digits + 1;
+        }
+    }
+    return s;
+}
+
+std::string
+exportStats()
+{
+    std::ostringstream os;
+    telemetry::StatsRegistry::global().exportJson(os, {});
+    return normalizeInstanceIds(os.str());
+}
+
+void
+expectSameStatsJson(const std::string &ref, const std::string &run)
+{
+    if (ref == run) {
+        return;
+    }
+    std::size_t i = 0;
+    while (i < ref.size() && i < run.size() && ref[i] == run[i]) {
+        ++i;
+    }
+    const std::size_t begin = i > 120 ? i - 120 : 0;
+    ADD_FAILURE() << "stats JSON diverged at byte " << i << "\n  ref: ..."
+                  << ref.substr(begin, 200) << "\n  run: ..."
+                  << run.substr(begin, 200);
+}
+
+/** Everything a finished run must reproduce after a restore. */
+struct FinalState
+{
+    Tick now = 0;
+    Tick markCycles = 0;
+    std::uint64_t marked = 0;
+    std::uint64_t freed = 0;
+    std::string statsJson;
+};
+
+/** Runs mark + sweep (resuming mid-phase if the device was restored
+ *  there) and folds the run down to what must match. */
+FinalState
+finishRun(Rig &rig)
+{
+    const auto mark = rig.device->runMark();
+    const auto sweep = rig.device->runSweep();
+    FinalState f;
+    f.now = rig.device->system().now();
+    f.markCycles = mark.cycles;
+    f.marked = mark.objectsMarked;
+    f.freed = sweep.cellsFreed;
+    f.statsJson = exportStats();
+    return f;
+}
+
+HwgcConfig
+withKernel(HwgcConfig config, KernelMode kernel, unsigned threads)
+{
+    config.kernel = kernel;
+    config.hostThreads = threads;
+    return config;
+}
+
+/**
+ * One rig built, prepared (arm/restore), run to completion, and torn
+ * down in its own registry scope: the rig must be destroyed before the
+ * next run so its stats groups retire and the next clearRetired()
+ * drops them from the export.
+ */
+template <typename Setup>
+FinalState
+scopedRun(const workload::GraphParams &graph, const HwgcConfig &config,
+          runtime::Layout layout, Setup &&setup)
+{
+    telemetry::StatsRegistry::global().clearRetired();
+    Rig rig(graph, config, layout);
+    setup(rig);
+    return finishRun(rig);
+}
+
+/**
+ * The core round-trip: an uninterrupted reference run; then for each
+ * kernel a writer run that checkpoints mid-mark (and must match the
+ * reference — writing cannot perturb the simulation) and a reader run
+ * under a *different* kernel that restores that file and must converge
+ * to the same final cycle and statistics.
+ */
+void
+expectMidMarkRoundTrip(const HwgcConfig &config, bool full_matrix,
+                       runtime::Layout layout =
+                           runtime::Layout::Bidirectional)
+{
+    const auto graph = testGraph(21);
+
+    const FinalState ref = scopedRun(
+        graph, withKernel(config, KernelMode::Dense, 0), layout,
+        [](Rig &) {});
+    ASSERT_GT(ref.markCycles, 200u) << "graph too small for a mid-mark "
+                                       "checkpoint";
+    ASSERT_GT(ref.marked, 0u);
+    const Tick at = ref.markCycles / 2;
+
+    struct Case
+    {
+        const char *name;
+        KernelMode kernel;
+        unsigned threads;
+    };
+    static constexpr Case cases[] = {
+        {"dense", KernelMode::Dense, 0},
+        {"event", KernelMode::Event, 0},
+        {"parallel-1", KernelMode::ParallelBsp, 1},
+        {"parallel-4", KernelMode::ParallelBsp, 4},
+    };
+    const std::size_t num_cases =
+        full_matrix ? std::size(cases) : std::size_t(2);
+
+    for (std::size_t i = 0; i < num_cases; ++i) {
+        const Case &save_case = cases[i];
+        // Rotating the restore kernel also proves cross-kernel resume:
+        // kernel mode is a host knob, not architectural state.
+        const Case &load_case = cases[(i + 1) % num_cases];
+        const std::string path =
+            tmpPath(std::string("midmark-") + save_case.name + ".ckpt");
+
+        {
+            SCOPED_TRACE(std::string("save under ") + save_case.name);
+            const FinalState run = scopedRun(
+                graph,
+                withKernel(config, save_case.kernel, save_case.threads),
+                layout, [&](Rig &writer) {
+                    writer.device->armCheckpoint(path, at);
+                });
+            EXPECT_EQ(ref.now, run.now);
+            EXPECT_EQ(ref.markCycles, run.markCycles);
+            EXPECT_EQ(ref.marked, run.marked);
+            EXPECT_EQ(ref.freed, run.freed);
+            expectSameStatsJson(ref.statsJson, run.statsJson);
+        }
+        {
+            SCOPED_TRACE(std::string("restore under ") + load_case.name +
+                         " from " + save_case.name);
+            const FinalState run = scopedRun(
+                graph,
+                withKernel(config, load_case.kernel, load_case.threads),
+                layout, [&](Rig &reader) {
+                    reader.device->restoreCheckpoint(path);
+                    EXPECT_EQ(reader.device->system().now(), at);
+                    EXPECT_EQ(reader.device->regs().status,
+                              core::MmioRegs::Marking);
+                });
+            EXPECT_EQ(ref.now, run.now);
+            EXPECT_EQ(ref.freed, run.freed);
+            expectSameStatsJson(ref.statsJson, run.statsJson);
+        }
+    }
+}
+
+TEST(Checkpoint, MidMarkRoundTripKernelMatrix)
+{
+    expectMidMarkRoundTrip(HwgcConfig{}, true);
+}
+
+TEST(Checkpoint, MidMarkRoundTripSharedCache)
+{
+    HwgcConfig config;
+    config.sharedCache = true;
+    expectMidMarkRoundTrip(config, false);
+}
+
+TEST(Checkpoint, MidMarkRoundTripIdealMemory)
+{
+    HwgcConfig config;
+    config.memModel = core::MemModel::Ideal;
+    expectMidMarkRoundTrip(config, false);
+}
+
+TEST(Checkpoint, MidMarkRoundTripSpillPressure)
+{
+    HwgcConfig config;
+    config.markQueueEntries = 32; // Force the spill path.
+    expectMidMarkRoundTrip(config, false);
+}
+
+// ---------------------------------------------------------------------
+// Post-phase checkpoints: --checkpoint-out without --checkpoint-at
+// writes after every completed phase; restoring the post-sweep file
+// must reproduce the *next* pause exactly (warmed caches and all).
+// ---------------------------------------------------------------------
+
+void
+runSecondPause(Rig &rig)
+{
+    rig.heap.clearAllMarks();
+    rig.heap.publishRoots();
+    rig.device->resetPhaseState();
+    rig.device->runMark();
+    rig.device->runSweep();
+}
+
+TEST(Checkpoint, PhaseCheckpointResumesNextPause)
+{
+    const auto graph = testGraph(23);
+    const std::string path = tmpPath("phase.ckpt");
+    const HwgcConfig config;
+
+    Tick pause1_now = 0;
+    Tick original_now = 0;
+    std::string original_stats;
+    {
+        telemetry::StatsRegistry::global().clearRetired();
+        Rig original(graph, config);
+        original.device->armCheckpoint(path);
+        const auto pause1 = original.device->collect();
+        ASSERT_GT(pause1.cellsFreed, 0u);
+        // Freeze the post-pause-1 file before pause 2 overwrites it.
+        original.device->armCheckpoint("");
+        pause1_now = original.device->system().now();
+        runSecondPause(original);
+        original_now = original.device->system().now();
+        original_stats = exportStats();
+    }
+
+    telemetry::StatsRegistry::global().clearRetired();
+    Rig restored(graph, config);
+    restored.device->restoreCheckpoint(path);
+    EXPECT_EQ(restored.device->system().now(), pause1_now);
+    EXPECT_EQ(restored.device->regs().status, core::MmioRegs::Idle);
+    runSecondPause(restored);
+    EXPECT_EQ(restored.device->system().now(), original_now);
+    expectSameStatsJson(original_stats, exportStats());
+}
+
+// ---------------------------------------------------------------------
+// File format: the chunk directory is self-describing (the
+// heap_inspector post-mortem view), and every corruption mode is a
+// fatal error naming the file.
+// ---------------------------------------------------------------------
+
+TEST(Checkpoint, ListChunksShowsTopology)
+{
+    Rig rig(testGraph(3, 64), HwgcConfig{});
+    const std::string path = tmpPath("list.ckpt");
+    ASSERT_TRUE(rig.device->writeCheckpoint(path));
+
+    const auto chunks = checkpoint::Deserializer::listChunks(path);
+    std::vector<std::string> names;
+    for (const auto &chunk : chunks) {
+        names.push_back(chunk.name);
+    }
+    ASSERT_GT(names.size(), 6u);
+    EXPECT_EQ(names.front(), "config");
+    EXPECT_EQ(names[1], "regs");
+    EXPECT_EQ(names[2], "kernel");
+    EXPECT_EQ(names.back(), "physmem");
+    EXPECT_NE(std::find(names.begin(), names.end(), "traceQueue"),
+              names.end());
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+spew(const std::string &path, const std::string &data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), std::streamsize(data.size()));
+}
+
+/** Writes a small valid checkpoint and returns its bytes. */
+std::string
+validImage(Rig &rig, const std::string &path)
+{
+    EXPECT_TRUE(rig.device->writeCheckpoint(path));
+    return slurp(path);
+}
+
+TEST(CheckpointDeathTest, RejectsBadMagic)
+{
+    Rig rig(testGraph(5, 64), HwgcConfig{});
+    const std::string path = tmpPath("magic.ckpt");
+    std::string data = validImage(rig, path);
+    data[0] ^= 0x5A;
+    spew(path, data);
+    EXPECT_EXIT(rig.device->restoreCheckpoint(path),
+                ::testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(CheckpointDeathTest, RejectsWrongFormatVersion)
+{
+    Rig rig(testGraph(5, 64), HwgcConfig{});
+    const std::string path = tmpPath("version.ckpt");
+    std::string data = validImage(rig, path);
+    data[8] = char(data[8] + 1); // u32 version, little-endian.
+    spew(path, data);
+    EXPECT_EXIT(rig.device->restoreCheckpoint(path),
+                ::testing::ExitedWithCode(1), "format version");
+}
+
+TEST(CheckpointDeathTest, RejectsTruncatedFile)
+{
+    Rig rig(testGraph(5, 64), HwgcConfig{});
+    const std::string path = tmpPath("truncated.ckpt");
+    const std::string data = validImage(rig, path);
+    spew(path, data.substr(0, data.size() / 2));
+    EXPECT_EXIT(rig.device->restoreCheckpoint(path),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(CheckpointDeathTest, RejectsTrailingGarbage)
+{
+    Rig rig(testGraph(5, 64), HwgcConfig{});
+    const std::string path = tmpPath("trailing.ckpt");
+    const std::string data = validImage(rig, path);
+    spew(path, data + std::string(16, '\x7f'));
+    EXPECT_EXIT(rig.device->restoreCheckpoint(path),
+                ::testing::ExitedWithCode(1), "trailing data");
+}
+
+TEST(CheckpointDeathTest, RejectsDifferentConfiguration)
+{
+    Rig writer(testGraph(5, 64), HwgcConfig{});
+    const std::string path = tmpPath("config.ckpt");
+    validImage(writer, path);
+
+    HwgcConfig other;
+    other.markQueueEntries = 64;
+    Rig reader(testGraph(5, 64), other);
+    EXPECT_EXIT(reader.device->restoreCheckpoint(path),
+                ::testing::ExitedWithCode(1),
+                "different device configuration");
+}
+
+TEST(CheckpointDeathTest, RejectsMissingFile)
+{
+    Rig rig(testGraph(5, 64), HwgcConfig{});
+    EXPECT_EXIT(rig.device->restoreCheckpoint(tmpPath("nope.ckpt")),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace hwgc

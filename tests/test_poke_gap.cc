@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Regression test for wakeups lowered *during* an event-kernel cycle
+ * by another component's per-cycle fastForward() handler.
+ *
+ * The kernel folds each component's nextWakeup() into a fast-forward
+ * jump target at that component's turn in the pass. A later
+ * component's per-cycle fastForward() accounting may then poke an
+ * earlier component, lowering a wakeup the fold already captured; the
+ * jump must be clamped to the re-polled wakeup or the poked component
+ * ticks late and the event kernel diverges from the dense one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/clocked.h"
+
+namespace hwgc
+{
+namespace
+{
+
+/** Idles at maxTick until woken, then ticks once at its wake cycle. */
+class Sleeper : public Clocked
+{
+  public:
+    Sleeper() : Clocked("sleeper") {}
+
+    void
+    wake(Tick at)
+    {
+        wakeAt_ = at;
+        pokeWakeup();
+    }
+
+    void
+    tick(Tick now) override
+    {
+        if (!done_ && now >= wakeAt_) {
+            tickedAt_ = now;
+            done_ = true;
+        }
+    }
+
+    bool busy() const override { return !done_; }
+    Tick nextWakeup(Tick) const override { return wakeAt_; }
+
+    Tick tickedAt() const { return tickedAt_; }
+
+  private:
+    Tick wakeAt_ = maxTick;
+    Tick tickedAt_ = 0;
+    bool done_ = false;
+};
+
+/**
+ * Wakes the sleeper for cycle @c wakeCycle + 1 when cycle @c wakeCycle
+ * elapses — in its tick under the dense kernel, in its per-cycle
+ * fastForward() accounting under the event kernel (its nextWakeup
+ * deliberately reports only the far-future tick, like a component
+ * whose skipped cycles carry side accounting).
+ */
+class Gapper : public Clocked
+{
+  public:
+    static constexpr Tick wakeCycle = 11;
+    static constexpr Tick farWakeup = 30;
+
+    explicit Gapper(Sleeper &sleeper) : Clocked("gapper"),
+        sleeper_(sleeper)
+    {
+        hasFastForward_ = true;
+    }
+
+    void
+    tick(Tick now) override
+    {
+        if (now == wakeCycle) {
+            fire();
+        }
+    }
+
+    void
+    fastForward(Tick from, Tick to) override
+    {
+        if (from <= wakeCycle && wakeCycle < to) {
+            fire();
+        }
+    }
+
+    bool busy() const override { return !fired_; }
+
+    Tick
+    nextWakeup(Tick) const override
+    {
+        return fired_ ? maxTick : farWakeup;
+    }
+
+  private:
+    void
+    fire()
+    {
+        if (!fired_) {
+            sleeper_.wake(wakeCycle + 1);
+            fired_ = true;
+        }
+    }
+
+    Sleeper &sleeper_;
+    bool fired_ = false;
+};
+
+/** Ticks once at cycle 10 so cycle 11 runs as an executed pass (the
+ *  per-cycle fastForward path) instead of inside one long jump. */
+class Ticker : public Clocked
+{
+  public:
+    Ticker() : Clocked("ticker") {}
+
+    void
+    tick(Tick now) override
+    {
+        if (now >= 10) {
+            done_ = true;
+        }
+    }
+
+    bool busy() const override { return !done_; }
+
+    Tick
+    nextWakeup(Tick now) const override
+    {
+        return done_ ? maxTick : std::max<Tick>(now, 10);
+    }
+
+  private:
+    bool done_ = false;
+};
+
+Tick
+runKernel(KernelMode mode, Tick *final_now)
+{
+    System system;
+    system.setMode(mode);
+    Sleeper sleeper;
+    Gapper gapper(sleeper);
+    Ticker ticker;
+    system.add(&sleeper);
+    system.add(&gapper);
+    system.add(&ticker);
+    EXPECT_TRUE(system.runUntilIdle(1000));
+    *final_now = system.now();
+    return sleeper.tickedAt();
+}
+
+TEST(PokeGap, FastForwardPokeIsNotJumpedOver)
+{
+    Tick dense_now = 0;
+    const Tick dense_ticked = runKernel(KernelMode::Dense, &dense_now);
+    EXPECT_EQ(dense_ticked, Gapper::wakeCycle + 1);
+
+    Tick event_now = 0;
+    const Tick event_ticked = runKernel(KernelMode::Event, &event_now);
+    EXPECT_EQ(event_ticked, dense_ticked);
+    EXPECT_EQ(event_now, dense_now);
+}
+
+} // namespace
+} // namespace hwgc
