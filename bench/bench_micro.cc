@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "bench_util.h"
@@ -150,7 +151,8 @@ BENCHMARK(BM_MarkQueueOnChip);
  */
 double
 runKernelAb(const char *label, const workload::GraphParams &graph,
-            bool include_dense = true, unsigned parallel_threads = 4)
+            bench::BenchRecord &record, bool include_dense = true,
+            unsigned parallel_threads = 4)
 {
     struct Run
     {
@@ -229,6 +231,14 @@ runKernelAb(const char *label, const workload::GraphParams &graph,
                     100.0 * double(event.executed) /
                         double(dense.executed));
     }
+    // Deterministic cross-PR record: the kernels are checked
+    // identical above, so the event run's numbers are canonical.
+    const char *slash = std::strrchr(label, '/');
+    const std::string key = slash != nullptr ? slash + 1 : label;
+    record.metric(key + ".sim_cycles", std::uint64_t(event.simCycles));
+    record.metric(key + ".event_executed", event.executed);
+    record.metric(key + ".marked", event.marked);
+
     bench::printKernelSpeed(label, "event", event.hostSeconds,
                             double(event.simCycles));
     bench::printKernelSpeed(label, "parallel", parallel1.hostSeconds,
@@ -248,6 +258,11 @@ runKernelAb(const char *label, const workload::GraphParams &graph,
 void
 runKernelAbSuite()
 {
+    // Perf-trajectory record (BENCH_micro.json via --bench-out=).
+    // Attribution stays empty here on purpose: attaching the profiler
+    // would slow the very kernel loops this suite wall-clocks.
+    bench::BenchRecord record("micro");
+    bench::HostTimer suite_timer;
     // Latency-bound: one root, a pointer chain, no arrays — the
     // tracer chases dependent DRAM accesses one at a time and the
     // machine idles for tens of cycles per hop. This is the shape
@@ -263,7 +278,7 @@ runKernelAbSuite()
     chain.shareProb = 0.0;
     chain.localityBias = 0.0;
     chain.seed = 17;
-    runKernelAb("bench_micro/latency", chain);
+    runKernelAb("bench_micro/latency", chain, record);
 
     // Throughput-bound: wide graph, 32 roots, full marker MLP keeps
     // the memory system saturated, so few cycles are skippable and
@@ -273,7 +288,7 @@ runKernelAbSuite()
     wide.garbageObjects = 15000;
     wide.numRoots = 32;
     wide.seed = 13;
-    runKernelAb("bench_micro/throughput", wide);
+    runKernelAb("bench_micro/throughput", wide, record);
 
     // Large heap: the parallel kernel's target shape — enough live
     // work per simulated cycle that the per-cycle fan-out/join cost
@@ -284,8 +299,10 @@ runKernelAbSuite()
     large.garbageObjects = 60000;
     large.numRoots = 64;
     large.seed = 29;
-    runKernelAb("bench_micro/large-heap", large,
+    runKernelAb("bench_micro/large-heap", large, record,
                 /*include_dense=*/false);
+
+    record.write(suite_timer.seconds());
 }
 
 } // namespace

@@ -8,12 +8,18 @@
 #ifndef HWGC_BENCH_BENCH_UTIL_H
 #define HWGC_BENCH_BENCH_UTIL_H
 
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/logging.h"
+#include "sim/profiler.h"
 #include "sim/telemetry.h"
 #include "sim/types.h"
 
@@ -96,6 +102,145 @@ printKernelSpeed(const char *bench, const char *kernel,
                 telemetry::jsonEscape(kernel).c_str(),
                 host_threads, host_seconds, sim_cycles, rate);
 }
+
+/**
+ * Canonical per-bench perf record, written as BENCH_<name>.json into
+ * the --bench-out=/HWGC_BENCH_OUT directory (no-op when unset):
+ *
+ *     { "bench": ..., "schema": 1, "host_seconds": ...,
+ *       "metrics": { "<label>": <int>, ... },
+ *       "attribution": { "<phase>": { "<class>": <cycles> } } }
+ *
+ * Metrics are deterministic integers (simulated cycles, counts) and
+ * scripts/bench_compare.py compares them *exactly* against the
+ * committed bench/baseline/ record; host_seconds is the machine's
+ * wall clock and only ever produces a warning. Attribution carries
+ * the profiler's per-phase cycle-class totals, which are equally
+ * deterministic — a perf change shows up in review as a readable
+ * diff of where the cycles moved.
+ */
+class BenchRecord
+{
+  public:
+    explicit BenchRecord(std::string name) : name_(std::move(name)) {}
+
+    /** Adds one deterministic integer metric (exact-compared). */
+    void
+    metric(const std::string &label, std::uint64_t value)
+    {
+        metrics_.emplace_back(label, value);
+    }
+
+    /**
+     * Accumulates @p prof's per-phase class totals into the record.
+     * Callable once per GcLab/device before it is destroyed; repeated
+     * calls sum, so a suite-wide record aggregates all its runs.
+     */
+    void
+    addAttribution(const telemetry::CycleProfiler &prof)
+    {
+        for (const auto &phase : prof.phases()) {
+            auto &classes = phaseSlot(phase);
+            for (std::size_t c = 0; c < numCycleClasses; ++c) {
+                const auto cc = CycleClass(c);
+                const std::uint64_t v = prof.phaseAggregate(phase, cc);
+                if (v != 0) {
+                    classSlot(classes, cycleClassName(cc)) += v;
+                }
+            }
+        }
+    }
+
+    /**
+     * Writes BENCH_<name>.json. I/O errors are fatal with filename
+     * and errno — a perf-trajectory record silently missing from the
+     * output directory would defeat the regression harness.
+     */
+    void
+    write(double host_seconds) const
+    {
+        const std::string &dir = telemetry::options().benchOut;
+        if (dir.empty()) {
+            return;
+        }
+        const std::string path = dir + "/BENCH_" + name_ + ".json";
+        std::string text = "{\n  \"bench\": \"" +
+                           telemetry::jsonEscape(name_) +
+                           "\",\n  \"schema\": 1,\n";
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6f", host_seconds);
+        text += std::string("  \"host_seconds\": ") + buf + ",\n";
+        text += "  \"metrics\": {";
+        for (std::size_t i = 0; i < metrics_.size(); ++i) {
+            text += i ? ",\n    \"" : "\n    \"";
+            text += telemetry::jsonEscape(metrics_[i].first) + "\": ";
+            std::snprintf(buf, sizeof buf, "%llu",
+                          (unsigned long long)metrics_[i].second);
+            text += buf;
+        }
+        text += metrics_.empty() ? "},\n" : "\n  },\n";
+        text += "  \"attribution\": {";
+        for (std::size_t p = 0; p < attribution_.size(); ++p) {
+            text += p ? ",\n    \"" : "\n    \"";
+            text += telemetry::jsonEscape(attribution_[p].first) +
+                    "\": {";
+            const auto &classes = attribution_[p].second;
+            for (std::size_t c = 0; c < classes.size(); ++c) {
+                text += c ? ", \"" : " \"";
+                text += classes[c].first + "\": ";
+                std::snprintf(buf, sizeof buf, "%llu",
+                              (unsigned long long)classes[c].second);
+                text += buf;
+            }
+            text += " }";
+        }
+        text += attribution_.empty() ? "}\n}\n" : "\n  }\n}\n";
+
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        fatal_if(f == nullptr, "bench: cannot write '%s': %s",
+                 path.c_str(), std::strerror(errno));
+        const std::size_t written =
+            std::fwrite(text.data(), 1, text.size(), f);
+        const bool bad = written != text.size() ||
+                         std::fflush(f) != 0 || std::ferror(f) != 0;
+        const int close_err = std::fclose(f);
+        fatal_if(bad || close_err != 0, "bench: error writing '%s': %s",
+                 path.c_str(), std::strerror(errno));
+        std::printf("bench record: %s\n", path.c_str());
+    }
+
+  private:
+    using ClassTotals =
+        std::vector<std::pair<std::string, std::uint64_t>>;
+
+    ClassTotals &
+    phaseSlot(const std::string &phase)
+    {
+        for (auto &entry : attribution_) {
+            if (entry.first == phase) {
+                return entry.second;
+            }
+        }
+        attribution_.emplace_back(phase, ClassTotals{});
+        return attribution_.back().second;
+    }
+
+    static std::uint64_t &
+    classSlot(ClassTotals &classes, const std::string &name)
+    {
+        for (auto &entry : classes) {
+            if (entry.first == name) {
+                return entry.second;
+            }
+        }
+        classes.emplace_back(name, 0);
+        return classes.back().second;
+    }
+
+    std::string name_;
+    std::vector<std::pair<std::string, std::uint64_t>> metrics_;
+    std::vector<std::pair<std::string, ClassTotals>> attribution_;
+};
 
 /**
  * Warmup-reuse hook: if --checkpoint-in=/HWGC_CHECKPOINT_IN names a

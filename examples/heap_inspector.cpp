@@ -8,6 +8,12 @@
  *
  *   $ ./build/examples/heap_inspector [benchmark]
  *
+ * With --profile the run also prints the cycle-accounting bottleneck
+ * report (DESIGN.md §10): per component and per GC phase, where its
+ * cycles went — busy, a specific stall cause, or idle.
+ *
+ *   $ ./build/examples/heap_inspector --profile [benchmark]
+ *
  * Post-mortem mode: point it at a checkpoint file — typically the
  * "<path>.crash" dump the device writes on a fatal error when
  * --checkpoint-out= is armed — and it prints the chunk directory, the
@@ -167,6 +173,12 @@ main(int argc, char **argv)
     // the device was built; dump the whole hierarchy from there
     // (paths look like "system.hwgc0.marker").
     telemetry::StatsRegistry::global().dump(std::cout);
+
+    // Bottleneck attribution (--profile / HWGC_PROFILE).
+    if (device.profiler() != nullptr) {
+        std::printf("\n");
+        device.profiler()->report(stdout);
+    }
 
     // The software check the paper's debug libhwgc performed.
     const auto marks_ok = gc::verifyMarks(heap);

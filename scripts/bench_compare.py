@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_<name>.json perf records.
+
+Usage: bench_compare.py BASELINE_DIR NEW_DIR
+
+Each record (written by the bench binaries under --bench-out=, schema
+in bench/bench_util.h) carries deterministic integer metrics
+(simulated cycles, counts) plus the profiler's per-phase cycle-class
+attribution, and an advisory host wall-clock.
+
+Exit status is nonzero if any metric or attribution entry differs
+(simulation is deterministic, so the compare is exact), or if a
+baseline record is missing from NEW_DIR. Host wall-clock changes and
+records present only in NEW_DIR produce warnings, never failures —
+wall clock depends on the machine, and a brand-new bench has no
+baseline yet.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Relative host-seconds drift above which a warning is printed.
+HOST_WARN_RATIO = 0.25
+
+
+def load_records(directory):
+    records = {}
+    for path in sorted(Path(directory).glob("BENCH_*.json")):
+        with open(path) as f:
+            data = json.load(f)
+        if data.get("schema") != 1:
+            sys.exit(f"error: {path}: unsupported schema "
+                     f"{data.get('schema')!r}")
+        records[data["bench"]] = data
+    return records
+
+
+def flatten_attribution(record):
+    """{phase: {class: cycles}} -> {(phase, class): cycles}."""
+    flat = {}
+    for phase, classes in record.get("attribution", {}).items():
+        for cls, cycles in classes.items():
+            flat[(phase, cls)] = cycles
+    return flat
+
+
+def compare_record(name, base, new):
+    failures = []
+    base_metrics = base.get("metrics", {})
+    new_metrics = new.get("metrics", {})
+    for label in sorted(set(base_metrics) | set(new_metrics)):
+        old_v = base_metrics.get(label)
+        new_v = new_metrics.get(label)
+        if old_v != new_v:
+            failures.append(
+                f"{name}: metric '{label}': baseline {old_v} != new {new_v}")
+
+    base_attr = flatten_attribution(base)
+    new_attr = flatten_attribution(new)
+    for key in sorted(set(base_attr) | set(new_attr)):
+        old_v = base_attr.get(key, 0)
+        new_v = new_attr.get(key, 0)
+        if old_v != new_v:
+            phase, cls = key
+            failures.append(f"{name}: attribution {phase}/{cls}: "
+                            f"baseline {old_v} != new {new_v}")
+
+    old_host = base.get("host_seconds", 0.0)
+    new_host = new.get("host_seconds", 0.0)
+    if old_host > 0 and new_host > 0:
+        ratio = new_host / old_host
+        if abs(ratio - 1.0) > HOST_WARN_RATIO:
+            print(f"warning: {name}: host wall-clock {old_host:.2f}s -> "
+                  f"{new_host:.2f}s ({ratio:.2f}x); advisory only")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="committed bench/baseline dir")
+    parser.add_argument("new", help="freshly produced --bench-out dir")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    new = load_records(args.new)
+    if not baseline:
+        sys.exit(f"error: no BENCH_*.json records in {args.baseline}")
+
+    failures = []
+    for name in sorted(baseline):
+        if name not in new:
+            failures.append(f"{name}: record missing from {args.new} "
+                            "(bench not run or failed to write)")
+            continue
+        failures.extend(compare_record(name, baseline[name], new[name]))
+    for name in sorted(set(new) - set(baseline)):
+        print(f"warning: {name}: new record has no baseline; commit "
+              f"{args.new}/BENCH_{name}.json to bench/baseline/")
+
+    if failures:
+        print(f"\n{len(failures)} deterministic difference(s):")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        print("\nIf the change is intended, refresh the baselines: "
+              "run each bench with --bench-out=bench/baseline and "
+              "commit the result.")
+        return 1
+    print(f"bench_compare: {len(baseline)} record(s) match baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -286,6 +286,32 @@ BlockSweeper::nextWakeup(Tick now) const
     return now;
 }
 
+CycleClass
+BlockSweeper::cycleClass(Tick now) const
+{
+    (void)now;
+    if (!active_) {
+        if (writesInFlight_ != 0) {
+            return CycleClass::StallDram; // Write acks draining.
+        }
+        return upstream_ != nullptr && upstream_->busy()
+                   ? CycleClass::StallUpstreamEmpty
+                   : CycleClass::Idle;
+    }
+    if (walkPending_) {
+        return CycleClass::StallPtw;
+    }
+    if (lineFillPending_) {
+        return CycleClass::StallDram; // Streaming line fill.
+    }
+    // The state machine runs every cycle here; progress hinges on the
+    // memory port accepting its reads/writes.
+    mem::MemRequest probe;
+    probe.size = wordBytes;
+    return port_->canSend(probe) ? CycleClass::Busy
+                                 : CycleClass::StallBus;
+}
+
 void
 BlockSweeper::save(checkpoint::Serializer &ser) const
 {

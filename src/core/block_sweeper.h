@@ -50,6 +50,14 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     /** Assigns a block; the sweeper must be idle. */
     void assign(const SweepJob &job);
 
+    /**
+     * Names the component that feeds this sweeper jobs (the
+     * reclamation dispatcher). Purely observational: the cycle
+     * profiler classifies an idle sweeper as starved rather than idle
+     * while its upstream is still busy.
+     */
+    void setUpstream(const Clocked *upstream) { upstream_ = upstream; }
+
     // MemResponder interface.
     void onResponse(const mem::MemResponse &resp, Tick now) override;
 
@@ -57,6 +65,7 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     void tick(Tick now) override;
     bool busy() const override { return !drained(); }
     Tick nextWakeup(Tick now) const override;
+    CycleClass cycleClass(Tick now) const override;
     void save(checkpoint::Serializer &ser) const override;
     void restore(checkpoint::Deserializer &des) override;
 
@@ -112,6 +121,7 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     mem::MemPort *port_;
     mem::Ptw &ptw_;
     mem::TlbArray tlb_;
+    const Clocked *upstream_ = nullptr; //!< Job source (profiling).
 
     // Job state.
     bool active_ = false;

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <vector>
 
 #include "runtime/heap_layout.h"
@@ -355,45 +356,54 @@ HwgcDevice::registerTelemetry()
         ptwCache_->addStats(addGroup("ptwcache"));
     }
 
-    // Attach the kernel observer only when a telemetry sink is on, so
+    // Attach kernel observers only when a telemetry sink is on, so
     // the default cost is one null-pointer compare per executed cycle.
     const telemetry::Options &opts = telemetry::options();
-    if (!telemetry::TraceWriter::global().enabled() &&
-        opts.statsInterval == 0) {
-        return;
-    }
-    std::vector<std::string> names;
-    for (const Clocked *c : system_.components()) {
-        names.push_back(c->name());
-    }
-    sysTracer_ = std::make_unique<telemetry::SystemTracer>(
-        std::move(names), statsPrefix_ + ".");
-    sysTracer_->addCounter("markQueue.depth", [this] {
-        return double(markQueue_->depth());
-    });
-    sysTracer_->addCounter("traceQueue.depth", [this] {
-        return double(traceQueue_->size());
-    });
-    sysTracer_->addRateCounter("bus.utilization", [this] {
-        return double(bus_->busBusyCycles());
-    });
-    if (dramPtr_ != nullptr) {
-        sysTracer_->addRateCounter("dram.bytesPerCycle", [this] {
-            return double(dramPtr_->bytesRead().value() +
-                          dramPtr_->bytesWritten().value());
+    if (telemetry::TraceWriter::global().enabled() ||
+        opts.statsInterval != 0) {
+        std::vector<std::string> names;
+        for (const Clocked *c : system_.components()) {
+            names.push_back(c->name());
+        }
+        sysTracer_ = std::make_unique<telemetry::SystemTracer>(
+            std::move(names), statsPrefix_ + ".");
+        sysTracer_->addCounter("markQueue.depth", [this] {
+            return double(markQueue_->depth());
         });
-    }
-    if (sharedCache_) {
-        sysTracer_->addCounter("unitcache.mshrs", [this] {
-            return double(sharedCache_->mshrsInUse());
+        sysTracer_->addCounter("traceQueue.depth", [this] {
+            return double(traceQueue_->size());
         });
-    }
-    if (ptwCache_) {
-        sysTracer_->addCounter("ptwcache.mshrs", [this] {
-            return double(ptwCache_->mshrsInUse());
+        sysTracer_->addRateCounter("bus.utilization", [this] {
+            return double(bus_->busBusyCycles());
         });
+        if (dramPtr_ != nullptr) {
+            sysTracer_->addRateCounter("dram.bytesPerCycle", [this] {
+                return double(dramPtr_->bytesRead().value() +
+                              dramPtr_->bytesWritten().value());
+            });
+        }
+        if (sharedCache_) {
+            sysTracer_->addCounter("unitcache.mshrs", [this] {
+                return double(sharedCache_->mshrsInUse());
+            });
+        }
+        if (ptwCache_) {
+            sysTracer_->addCounter("ptwcache.mshrs", [this] {
+                return double(ptwCache_->mshrsInUse());
+            });
+        }
     }
-    system_.setObserver(sysTracer_.get());
+
+    // The System holds one observer pointer; with both sinks active
+    // the profiler observes first and forwards to the tracer.
+    if (opts.profile) {
+        profiler_ = std::make_unique<telemetry::CycleProfiler>(
+            system_, statsPrefix_);
+        profiler_->setChain(sysTracer_.get());
+        system_.setObserver(profiler_.get());
+    } else if (sysTracer_) {
+        system_.setObserver(sysTracer_.get());
+    }
 }
 
 HwgcDevice::~HwgcDevice()
@@ -403,6 +413,8 @@ HwgcDevice::~HwgcDevice()
     }
     if (sysTracer_) {
         sysTracer_->flush(system_.now());
+    }
+    if (sysTracer_ || profiler_) {
         system_.setObserver(nullptr);
     }
     auto &registry = telemetry::StatsRegistry::global();
@@ -429,6 +441,15 @@ HwgcDevice::configure(const runtime::Heap &heap)
     }
     if (!opts.checkpointIn.empty()) {
         restoreCheckpoint(opts.checkpointIn);
+    }
+
+    // Progress watchdog (--watchdog-secs= / HWGC_WATCHDOG_SECS): a
+    // wedged run dumps its live bottleneck report and stats to stderr
+    // before aborting; the panic also fires any armed crash hook, so
+    // the "<path>.crash" post-mortem path is shared with real panics.
+    if (opts.watchdogSecs > 0.0) {
+        system_.setWatchdog(opts.watchdogSecs,
+                            [this] { writeWatchdogReport(); });
     }
 }
 
@@ -478,9 +499,15 @@ HwgcDevice::runMark()
         regs_.status = MmioRegs::Marking;
         rootReader_->start(regs_.hwgcSpaceBase, regs_.rootCount);
     }
+    if (profiler_) {
+        profiler_->beginPhase("mark");
+    }
 
     HwPhaseResult result;
     result.cycles = runUntil("mark");
+    if (profiler_) {
+        profiler_->endPhase();
+    }
     panic_if(!markQueue_->empty() || !marker_->idle() ||
              !tracer_->idle() || !rootReader_->done(),
              "mark phase ended with residual work");
@@ -518,9 +545,15 @@ HwgcDevice::runSweep()
         regs_.status = MmioRegs::Sweeping;
         reclamation_->start(regs_.blockTableBase, regs_.blockCount);
     }
+    if (profiler_) {
+        profiler_->beginPhase("sweep");
+    }
 
     HwPhaseResult result;
     result.cycles = runUntil("sweep");
+    if (profiler_) {
+        profiler_->endPhase();
+    }
     panic_if(!reclamation_->done(),
              "sweep phase ended with residual work");
     result.cellsFreed = reclamation_->cellsFreed();
@@ -799,6 +832,26 @@ HwgcDevice::writeCrashDump()
     if (writeCheckpoint(checkpointOut_ + ".crash")) {
         inform("crash dump: wrote '%s.crash'", checkpointOut_.c_str());
     }
+}
+
+void
+HwgcDevice::writeWatchdogReport()
+{
+    std::fprintf(stderr,
+                 "watchdog: %s made no progress (cycle %llu); live "
+                 "state follows\n",
+                 statsPrefix_.c_str(),
+                 (unsigned long long)system_.now());
+    if (profiler_) {
+        profiler_->report(stderr);
+    }
+    telemetry::RunMetadata meta;
+    meta.binary = "watchdog-dump";
+    meta.config = configSignature();
+    meta.simCycles = system_.now();
+    std::ostringstream os;
+    telemetry::StatsRegistry::global().exportJson(os, meta);
+    std::fputs(os.str().c_str(), stderr);
 }
 
 } // namespace hwgc::core

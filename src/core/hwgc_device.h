@@ -26,6 +26,7 @@
 #include "mem/timed_cache.h"
 #include "runtime/heap.h"
 #include "sim/checkpoint.h"
+#include "sim/profiler.h"
 #include "sim/telemetry.h"
 
 namespace hwgc::core
@@ -157,6 +158,13 @@ class HwgcDevice
      */
     const std::string &statsPrefix() const { return statsPrefix_; }
 
+    /**
+     * The cycle-accounting profiler, or nullptr unless
+     * telemetry::options().profile was set before construction
+     * (--profile / HWGC_PROFILE). See DESIGN.md §10.
+     */
+    telemetry::CycleProfiler *profiler() { return profiler_.get(); }
+
   private:
     /** Steps the system until the given phase-done predicate holds
      *  and the memory side has drained, pausing at an armed
@@ -180,6 +188,9 @@ class HwgcDevice
     /** The panic()/fatal() hook target (see armCheckpoint()). */
     static void crashHook(void *ctx);
     void writeCrashDump();
+
+    /** Watchdog reporter: live bottleneck report + stats to stderr. */
+    void writeWatchdogReport();
 
     HwgcConfig config_;
     mem::PhysMem &mem_;
@@ -221,6 +232,7 @@ class HwgcDevice
     std::vector<std::unique_ptr<stats::Group>> statGroups_;
     std::vector<std::string> statPaths_;
     std::unique_ptr<telemetry::SystemTracer> sysTracer_;
+    std::unique_ptr<telemetry::CycleProfiler> profiler_;
 
     /** @name Armed checkpoint output (see armCheckpoint()) @{ */
     std::string checkpointOut_;

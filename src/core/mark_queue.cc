@@ -270,6 +270,40 @@ MarkQueue::nextWakeup(Tick now) const
     return maxTick;
 }
 
+CycleClass
+MarkQueue::cycleClass(Tick now) const
+{
+    (void)now;
+    if (empty()) {
+        return CycleClass::Idle;
+    }
+    // The three tick() actions in priority order. nextWakeup() fires
+    // for the first two before their port check (dense retry), so a
+    // wanted-but-port-blocked cycle must classify as a bus stall, not
+    // Busy.
+    const unsigned granule = granuleEntries();
+    const bool wants_write = !writeInFlight_ && outQ_.size() >= granule;
+    const bool wants_read = !readInFlight_ && outQ_.size() < granule &&
+        spillTail_ - spillHead_ >= granule &&
+        inQ_.size() + granule <= config_.spillQueueEntries;
+    if (wants_write || wants_read) {
+        mem::MemRequest probe;
+        probe.size = lineBytes;
+        return port_->canSend(probe) ? CycleClass::Busy
+                                     : CycleClass::StallBus;
+    }
+    if (spillHead_ == spillTail_ && !readInFlight_ && !outQ_.empty() &&
+        inQ_.size() < config_.spillQueueEntries) {
+        return CycleClass::Busy; // Bypass copy.
+    }
+    if (writeInFlight_ || readInFlight_) {
+        return CycleClass::StallDram; // Spill traffic in flight.
+    }
+    // Entries parked (q_/inQ_, a sub-granule outQ remainder, or the
+    // spill region) waiting for the consumer to drain them.
+    return CycleClass::StallDownstreamFull;
+}
+
 namespace
 {
 

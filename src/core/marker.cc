@@ -308,6 +308,53 @@ Marker::nextWakeup(Tick now) const
     return maxTick;
 }
 
+CycleClass
+Marker::cycleClass(Tick now) const
+{
+    if (nextWakeup(now) <= now) {
+        return CycleClass::Busy;
+    }
+    // Not due: attribute the stall, most-downstream blockage first.
+    // Each branch mirrors one "continue" in nextWakeup(): whatever
+    // kept that wakeup from firing is what this cycle waited on.
+    const bool slot_free = findFreeSlot() >= 0;
+    for (const auto &slot : slots_) {
+        if (slot.state != SlotState::Finish) {
+            continue;
+        }
+        // A finish slot that could retire would be due; it is blocked
+        // on the memory port (write-back) or the trace queue (push).
+        return slot.needWriteback ? CycleClass::StallBus
+                                  : CycleClass::StallDownstreamFull;
+    }
+    for (const auto &waiter : waiters_) {
+        if (waiter.valid && waiter.ready) {
+            // A translated reference that cannot issue: every slot is
+            // held by an in-flight status-word read, or the port is
+            // full.
+            return slot_free ? CycleClass::StallBus
+                             : CycleClass::StallMarkbit;
+        }
+    }
+    if (markQueue_.canDequeue()) {
+        if (waitersActive_ >= waiters_.size()) {
+            return CycleClass::StallPtw; // TLB-walk serialization.
+        }
+        if (!slot_free) {
+            return CycleClass::StallMarkbit;
+        }
+        return CycleClass::StallBus; // Port full (else it were due).
+    }
+    if (waitersActive_ != 0) {
+        return CycleClass::StallPtw; // Walks pending or in flight.
+    }
+    if (inFlightReads_ != 0) {
+        return CycleClass::StallMarkbit; // Status-word reads in flight.
+    }
+    return markQueue_.empty() ? CycleClass::Idle
+                              : CycleClass::StallUpstreamEmpty;
+}
+
 void
 Marker::fastForward(Tick from, Tick to)
 {

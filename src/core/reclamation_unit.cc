@@ -29,6 +29,9 @@ ReclamationUnit::ReclamationUnit(std::string name,
         sweepers_.push_back(std::make_unique<BlockSweeper>(
             this->name() + ".sweeper" + std::to_string(i), config,
             sweeper_ports[i], ptw));
+        // The dispatcher is each sweeper's sole work source; the
+        // cycle profiler uses the edge to tell starvation from idle.
+        sweepers_.back()->setUpstream(this);
     }
 }
 
@@ -144,6 +147,36 @@ ReclamationUnit::nextWakeup(Tick now) const
         return walkPending_ ? maxTick : now;
     }
     return maxTick; // Draining sweepers only.
+}
+
+CycleClass
+ReclamationUnit::cycleClass(Tick now) const
+{
+    (void)now;
+    if (done()) {
+        return CycleClass::Idle;
+    }
+    if (entryReady_) {
+        for (const auto &sweeper : sweepers_) {
+            if (sweeper->idle()) {
+                return CycleClass::Busy; // Dispatching this cycle.
+            }
+        }
+        return CycleClass::StallDownstreamFull; // Every sweeper busy.
+    }
+    if (entryReadPending_) {
+        return CycleClass::StallDram; // Block-table entry in flight.
+    }
+    if (nextBlock_ < blockCount_) {
+        if (walkPending_) {
+            return CycleClass::StallPtw;
+        }
+        mem::MemRequest probe;
+        probe.size = BlockTableEntry::words * wordBytes;
+        return readerPort_->canSend(probe) ? CycleClass::Busy
+                                           : CycleClass::StallBus;
+    }
+    return CycleClass::StallDownstreamFull; // Sweepers still draining.
 }
 
 mem::Ptw::WalkCallback

@@ -45,6 +45,7 @@ class ReclamationUnit : public Clocked, public mem::MemResponder
     void tick(Tick now) override;
     bool busy() const override { return !done(); }
     Tick nextWakeup(Tick now) const override;
+    CycleClass cycleClass(Tick now) const override;
     void save(checkpoint::Serializer &ser) const override;
     void restore(checkpoint::Deserializer &des) override;
 

@@ -123,6 +123,37 @@ RootReader::nextWakeup(Tick now) const
     return maxTick; // Only in-flight reads remain (onResponse).
 }
 
+CycleClass
+RootReader::cycleClass(Tick now) const
+{
+    (void)now;
+    if (done()) {
+        return CycleClass::Idle;
+    }
+    if (!pending_.empty() && markQueue_.canEnqueue()) {
+        return CycleClass::Busy; // Feeding roots into the queue.
+    }
+    if (cursor_ < end_ && pending_.size() < 64) {
+        if (walkPending_) {
+            return CycleClass::StallPtw;
+        }
+        // Issuing (or launching a walk); the TLB itself is not
+        // probed here — lookup() updates LRU/stat state and the
+        // classifier must stay purely observational.
+        mem::MemRequest probe;
+        probe.size = wordBytes;
+        return port_->canSend(probe) ? CycleClass::Busy
+                                     : CycleClass::StallBus;
+    }
+    if (!pending_.empty()) {
+        return CycleClass::StallDownstreamFull; // Mark queue full.
+    }
+    if (walkPending_) {
+        return CycleClass::StallPtw;
+    }
+    return CycleClass::StallDram; // Root-line reads in flight.
+}
+
 mem::Ptw::WalkCallback
 RootReader::walkCallback()
 {

@@ -49,6 +49,7 @@ class RootReader : public Clocked, public mem::MemResponder
     void tick(Tick now) override;
     bool busy() const override { return !done(); }
     Tick nextWakeup(Tick now) const override;
+    CycleClass cycleClass(Tick now) const override;
     void save(checkpoint::Serializer &ser) const override;
     void restore(checkpoint::Deserializer &des) override;
 

@@ -358,6 +358,44 @@ Tracer::nextWakeup(Tick now) const
     return maxTick; // At most in-flight reads remain (onResponse).
 }
 
+CycleClass
+Tracer::cycleClass(Tick now) const
+{
+    if (nextWakeup(now) <= now) {
+        return CycleClass::Busy;
+    }
+    if (active_ || !traceQueue_.empty()) {
+        // Throttle inputs in mayIssue() order, so the first blocking
+        // condition names the stall.
+        if (markQueue_.throttle() ||
+            pendingRefs_.size() >= config_.tracerPendingRefs) {
+            return CycleClass::StallDownstreamFull;
+        }
+        if (config_.tracerTagSlots != 0 &&
+            inFlight_ >= config_.tracerTagSlots) {
+            return CycleClass::StallDram; // Tag slots all in flight.
+        }
+        if (!config_.decoupledTracer && marker_ != nullptr &&
+            marker_->inFlight() != 0) {
+            return CycleClass::StallBarrier; // Coupled-pipeline wait.
+        }
+        if (walkPending_) {
+            return CycleClass::StallPtw;
+        }
+        return CycleClass::StallDram; // Dependent TIB load in flight.
+    }
+    if (walkPending_) {
+        return CycleClass::StallPtw;
+    }
+    if (inFlight_ != 0) {
+        return CycleClass::StallDram; // Reads draining into responses.
+    }
+    // Drained: starved while the marker still generates trace work.
+    return marker_ != nullptr && marker_->busy()
+               ? CycleClass::StallUpstreamEmpty
+               : CycleClass::Idle;
+}
+
 void
 Tracer::fastForward(Tick from, Tick to)
 {

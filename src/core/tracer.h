@@ -55,6 +55,7 @@ class Tracer : public Clocked, public mem::MemResponder
     void tick(Tick now) override;
     bool busy() const override { return !idle(); }
     Tick nextWakeup(Tick now) const override;
+    CycleClass cycleClass(Tick now) const override;
     void fastForward(Tick from, Tick to) override;
     void save(checkpoint::Serializer &ser) const override;
     void restore(checkpoint::Deserializer &des) override;

@@ -248,6 +248,17 @@ Dram::busy() const
     return !queue_.empty() || !completions_.empty();
 }
 
+CycleClass
+Dram::cycleClass(Tick now) const
+{
+    (void)now;
+    // The controller is the endpoint of the memory system: any queued
+    // or in-flight access means it is doing its job. The default
+    // classifier would report bank/bus latency waits as upstream
+    // starvation, which is meaningless for a device.
+    return busy() ? CycleClass::Busy : CycleClass::Idle;
+}
+
 Tick
 Dram::nextWakeup(Tick) const
 {

@@ -79,6 +79,7 @@ class Dram : public MemDevice
     void tick(Tick now) override;
     bool busy() const override;
     Tick nextWakeup(Tick now) const override;
+    CycleClass cycleClass(Tick now) const override;
     void save(checkpoint::Serializer &ser) const override;
     void restore(checkpoint::Deserializer &des) override;
 

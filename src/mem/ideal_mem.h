@@ -69,6 +69,17 @@ class IdealMem : public MemDevice
         return completions_.empty() ? maxTick : completions_.top().at;
     }
 
+    /**
+     * The pipe is the endpoint of the memory system: any in-flight
+     * access means it is doing its job, so the default (which would
+     * report latency waits as upstream starvation) does not apply.
+     */
+    CycleClass
+    cycleClass(Tick) const override
+    {
+        return busy() ? CycleClass::Busy : CycleClass::Idle;
+    }
+
     /** @name Statistics @{ */
     const stats::Scalar &numRequests() const { return numRequests_; }
     const stats::Scalar &bytesMoved() const { return bytesMoved_; }

@@ -228,6 +228,40 @@ Interconnect::nextWakeup(Tick now) const
     return next;
 }
 
+CycleClass
+Interconnect::cycleClass(Tick now) const
+{
+    if (!busy()) {
+        return CycleClass::Idle;
+    }
+    const bool throttling = params_.throttleBytesPerCycle > 0.0;
+    for (const auto &port : ports_) {
+        if (port.requests.empty()) {
+            continue;
+        }
+        const auto &front = port.requests.front();
+        if (front.readyAt > now) {
+            continue; // Still traversing the request-latency hops.
+        }
+        if (!downstream_.canAccept(front.req)) {
+            // A ready head the memory device cannot take: the bus is
+            // backpressured by DRAM occupancy, the paper's dominant
+            // stall under bandwidth pressure (Fig 16).
+            return CycleClass::StallDram;
+        }
+        if (throttling) {
+            const double cost =
+                double(std::max<unsigned>(front.req.size, lineBytes));
+            if (throttleTokens_ < cost) {
+                // Token-starved grant: the residual-bandwidth budget
+                // (§VII) is the limiter, i.e. DRAM bandwidth.
+                return CycleClass::StallDram;
+            }
+        }
+    }
+    return CycleClass::Busy; // Traffic moving through the hops.
+}
+
 void
 Interconnect::fastForward(Tick from, Tick to)
 {

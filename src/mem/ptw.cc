@@ -140,6 +140,29 @@ Ptw::nextWakeup(Tick now) const
     return next;
 }
 
+CycleClass
+Ptw::cycleClass(Tick now) const
+{
+    (void)now;
+    if (!busy()) {
+        return CycleClass::Idle;
+    }
+    if (walking_) {
+        if (awaitingResponse_) {
+            return CycleClass::StallDram; // PTE fetch in flight.
+        }
+        if (level_ < walkPlan_.levels) {
+            MemRequest probe;
+            probe.size = wordBytes;
+            return port_->canSend(probe) ? CycleClass::Busy
+                                         : CycleClass::StallBus;
+        }
+    }
+    // Starting a queued walk, or delivering completion callbacks after
+    // their modeled latency: the walker itself is doing the work.
+    return CycleClass::Busy;
+}
+
 Ptw::WalkCallback
 Ptw::resolveCallback(const std::string &owner, std::uint64_t token,
                      const std::string &origin) const

@@ -95,6 +95,7 @@ class Ptw : public Clocked, public MemResponder
     void tick(Tick now) override;
     bool busy() const override;
     Tick nextWakeup(Tick now) const override;
+    CycleClass cycleClass(Tick now) const override;
     void save(checkpoint::Serializer &ser) const override;
     void restore(checkpoint::Deserializer &des) override;
 

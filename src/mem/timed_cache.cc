@@ -284,6 +284,45 @@ TimedCache::busy() const
     return false;
 }
 
+CycleClass
+TimedCache::cycleClass(Tick now) const
+{
+    (void)now;
+    if (!busy()) {
+        return CycleClass::Idle;
+    }
+    bool queued = !writebackQueue_.empty();
+    for (const auto &p : ports_) {
+        if (!p->queue.empty()) {
+            queued = true;
+            break;
+        }
+    }
+    if (queued) {
+        // Whether the head would hit cannot be probed here —
+        // tags_.access() updates recency state — so queued work is
+        // classified by what could block a miss.
+        bool mshr_free = false;
+        for (const auto &m : mshrs_) {
+            if (!m.valid) {
+                mshr_free = true;
+                break;
+            }
+        }
+        if (!mshr_free) {
+            return CycleClass::StallDram; // Every MSHR awaits a fill.
+        }
+        MemRequest probe;
+        probe.size = lineBytes;
+        return fillPort_->canSend(probe) ? CycleClass::Busy
+                                         : CycleClass::StallBus;
+    }
+    if (!dueResponses_.empty()) {
+        return CycleClass::Busy; // Hit-latency pipeline delivering.
+    }
+    return CycleClass::StallDram; // Only fills/write-backs in flight.
+}
+
 void
 TimedCache::save(checkpoint::Serializer &ser) const
 {

@@ -31,6 +31,7 @@
 #define HWGC_SIM_CLOCKED_H
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -39,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/cycle_class.h"
 #include "sim/logging.h"
 #include "sim/types.h"
 
@@ -141,6 +143,32 @@ class Clocked
     nextWakeup(Tick now) const
     {
         return busy() ? now : maxTick;
+    }
+
+    /**
+     * Classifies the cycle that just finished at time @p now for the
+     * cycle-accounting profiler (DESIGN.md §10). Must be a pure
+     * function of end-of-cycle architectural state — identical across
+     * all three kernels at every cycle boundary — and must never
+     * mutate anything: the profiler is an observer, and enabling it
+     * cannot change simulated results.
+     *
+     * The default covers components without internal stall structure:
+     * idle when not busy, busy when due to tick, otherwise waiting on
+     * a producer. Components that model backpressure, memory traffic
+     * or translation override this wholesale; in particular, any
+     * component whose nextWakeup() returns @p now for a dense
+     * port-retry loop must classify those retry cycles as the stall
+     * they are rather than Busy.
+     */
+    virtual CycleClass
+    cycleClass(Tick now) const
+    {
+        if (!busy()) {
+            return CycleClass::Idle;
+        }
+        return nextWakeup(now) <= now ? CycleClass::Busy
+                                      : CycleClass::StallUpstreamEmpty;
     }
 
     /**
@@ -395,6 +423,25 @@ class System
     void setObserver(KernelObserver *observer) { observer_ = observer; }
     KernelObserver *observer() const { return observer_; }
 
+    /**
+     * Arms a wall-clock progress watchdog: if a single run call
+     * (runUntilIdle / run / runUntilIdleStop) spends more than
+     * @p seconds of host time without returning, @p reporter is
+     * invoked to dump live diagnostics and the System panics — which
+     * also fires the crash hook (logging.h) — instead of hanging
+     * silently. The timer restarts at every run entry and the check
+     * samples once per 64Ki executed cycles, so the cost is one
+     * branch per cycle; @p seconds <= 0 disarms. Host-time-dependent
+     * by design: it never alters simulated state, it only decides
+     * when to give up on a wedged simulation.
+     */
+    void
+    setWatchdog(double seconds, std::function<void()> reporter = {})
+    {
+        watchdogSecs_ = seconds;
+        watchdogReporter_ = std::move(reporter);
+    }
+
     /** Registered components, in evaluation order. */
     const std::vector<Clocked *> &components() const
     {
@@ -480,6 +527,7 @@ class System
         // Anything may have been reconfigured between runs (phase
         // starts, resets): every cached wakeup is stale.
         dirty_ = ~std::uint64_t(0);
+        watchdogArm();
         return mode_ == KernelMode::Dense ? runUntilIdleDense(limit)
                                           : runUntilIdleEvent(limit);
     }
@@ -489,9 +537,13 @@ class System
     run(Tick cycles)
     {
         const Tick limit = saturatingLimit(cycles);
+        watchdogArm();
         if (mode_ == KernelMode::Dense) {
             while (now_ < limit) {
                 step();
+                if (watchdogDue()) {
+                    watchdogFireIfExpired();
+                }
             }
         } else {
             dirty_ = ~std::uint64_t(0);
@@ -531,6 +583,7 @@ class System
             return StopReason::Idle;
         }
         dirty_ = ~std::uint64_t(0);
+        watchdogArm();
         if (mode_ == KernelMode::Dense) {
             while (now_ < limit) {
                 if (now_ >= stop_at) {
@@ -538,6 +591,9 @@ class System
                 }
                 if (!step()) {
                     return StopReason::Idle;
+                }
+                if (watchdogDue()) {
+                    watchdogFireIfExpired();
                 }
             }
             return StopReason::Budget;
@@ -547,6 +603,9 @@ class System
                 return StopReason::Stopped;
             }
             const CyclePass pass = passCycle();
+            if (watchdogDue()) {
+                watchdogFireIfExpired();
+            }
             if (pass.ticked) {
                 if (!anyBusy()) {
                     return StopReason::Idle;
@@ -597,6 +656,9 @@ class System
         while (now_ < limit) {
             if (!step()) {
                 return true;
+            }
+            if (watchdogDue()) {
+                watchdogFireIfExpired();
             }
         }
         return false;
@@ -746,6 +808,9 @@ class System
     {
         while (now_ < limit) {
             const CyclePass pass = passCycle();
+            if (watchdogDue()) {
+                watchdogFireIfExpired();
+            }
             if (pass.ticked) {
                 if (!anyBusy()) {
                     return true;
@@ -766,10 +831,49 @@ class System
     {
         while (now_ < limit) {
             const CyclePass pass = passCycle();
+            if (watchdogDue()) {
+                watchdogFireIfExpired();
+            }
             if (!pass.ticked) {
                 fastForwardTo(std::min(pass.next, limit));
             }
         }
+    }
+
+    /** Restarts the watchdog timer (each public run entry point). */
+    void
+    watchdogArm()
+    {
+        if (watchdogSecs_ > 0) {
+            watchdogStart_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    /** Cheap per-cycle gate: sample host time every 64Ki cycles. */
+    bool
+    watchdogDue() const
+    {
+        return watchdogSecs_ > 0 && (executedCycles_ & 0xFFFF) == 0;
+    }
+
+    void
+    watchdogFireIfExpired()
+    {
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - watchdogStart_)
+                .count();
+        if (elapsed < watchdogSecs_) {
+            return;
+        }
+        if (watchdogReporter_) {
+            watchdogReporter_();
+        }
+        panic("watchdog: run made no completion progress for %.1f host "
+              "seconds (cycle %llu, %llu executed); aborting wedged "
+              "simulation",
+              elapsed, static_cast<unsigned long long>(now_),
+              static_cast<unsigned long long>(executedCycles_));
     }
 
     Tick now_ = 0;
@@ -784,6 +888,9 @@ class System
     std::uint64_t declared_ = 0; //!< Components with declared inputs.
     std::uint64_t dirty_ = ~std::uint64_t(0); //!< Stale wakeup caches.
     unsigned hostThreads_ = 0; //!< ParallelBsp pool cap (0 = auto).
+    double watchdogSecs_ = 0; //!< Progress watchdog limit (0 = off).
+    std::function<void()> watchdogReporter_; //!< Pre-abort dump hook.
+    std::chrono::steady_clock::time_point watchdogStart_;
     bool bspEvaluate_ = false; //!< Inside a parallel evaluate phase.
     std::unique_ptr<ParallelKernel> bsp_; //!< Lazily built worker pool.
 

@@ -105,6 +105,31 @@ parseU64Option(const char *text, const char *source,
     return v;
 }
 
+/** Strict non-negative double parse (same contract as the u64 one). */
+double
+parseDoubleOption(const char *text, const char *source, double fallback)
+{
+    if (text == nullptr || *text == '\0') {
+        warn("%s: empty value ignored", source);
+        return fallback;
+    }
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE || v < 0.0) {
+        warn("%s: unparseable value '%s' ignored", source, text);
+        return fallback;
+    }
+    return v;
+}
+
+/** Boolean env convention: set and not "0" means on. */
+bool
+envFlag(const char *text)
+{
+    return text != nullptr && std::strcmp(text, "0") != 0;
+}
+
 std::string
 quoted(const std::string &s)
 {
@@ -244,6 +269,16 @@ applyEnv()
         opts.checkpointAt = parseU64Option(v, "HWGC_CHECKPOINT_AT",
                                            opts.checkpointAt);
     }
+    if (const char *v = std::getenv("HWGC_PROFILE")) {
+        opts.profile = envFlag(v);
+    }
+    if (const char *v = std::getenv("HWGC_WATCHDOG_SECS")) {
+        opts.watchdogSecs = parseDoubleOption(v, "HWGC_WATCHDOG_SECS",
+                                              opts.watchdogSecs);
+    }
+    if (const char *v = std::getenv("HWGC_BENCH_OUT")) {
+        opts.benchOut = v;
+    }
     // HWGC_DEBUG is applied by a static initializer in logging.cc.
 }
 
@@ -284,6 +319,14 @@ parseArgs(int &argc, char **argv)
                        valueOf(argv[i], "--checkpoint-at=")) {
             opts.checkpointAt = parseU64Option(v, "--checkpoint-at",
                                                opts.checkpointAt);
+        } else if (std::strcmp(argv[i], "--profile") == 0) {
+            opts.profile = true;
+        } else if (const char *v =
+                       valueOf(argv[i], "--watchdog-secs=")) {
+            opts.watchdogSecs = parseDoubleOption(v, "--watchdog-secs",
+                                                  opts.watchdogSecs);
+        } else if (const char *v = valueOf(argv[i], "--bench-out=")) {
+            opts.benchOut = v;
         } else {
             argv[out++] = argv[i];
         }
@@ -433,13 +476,17 @@ StatsRegistry::exportJsonFile(const std::string &path,
         return;
     }
     std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        warn("telemetry: cannot write stats JSON to '%s'",
-             path.c_str());
-        return;
-    }
-    std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
+    fatal_if(f == nullptr,
+             "telemetry: cannot write stats JSON to '%s': %s",
+             path.c_str(), std::strerror(errno));
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    const bool bad = written != text.size() || std::fflush(f) != 0 ||
+                     std::ferror(f) != 0;
+    const int close_err = std::fclose(f);
+    fatal_if(bad || close_err != 0,
+             "telemetry: error writing stats JSON to '%s': %s",
+             path.c_str(), std::strerror(errno));
 }
 
 void
@@ -465,10 +512,10 @@ TraceWriter::open(const std::string &path)
 {
     close();
     out_ = std::fopen(path.c_str(), "w");
-    if (out_ == nullptr) {
-        warn("telemetry: cannot open trace file '%s'", path.c_str());
-        return;
-    }
+    fatal_if(out_ == nullptr,
+             "telemetry: cannot open trace file '%s': %s",
+             path.c_str(), std::strerror(errno));
+    path_ = path;
     events_ = 0;
     tracks_.clear();
     std::fputs("[\n", out_);
@@ -480,9 +527,16 @@ TraceWriter::close()
     if (out_ == nullptr) {
         return;
     }
+    // A full disk surfaces here, not as a silently truncated trace:
+    // emits are unchecked for speed, so the stream error flag plus a
+    // final flush carry the verdict for the whole file.
     std::fputs("\n]\n", out_);
-    std::fclose(out_);
+    const bool bad = std::fflush(out_) != 0 || std::ferror(out_) != 0;
+    const int close_err = std::fclose(out_);
     out_ = nullptr;
+    fatal_if(bad || close_err != 0,
+             "telemetry: error writing trace file '%s': %s",
+             path_.c_str(), std::strerror(errno));
 }
 
 void
@@ -710,6 +764,16 @@ Session::start()
     startSeconds_ = hostSecondsNow();
     if (!options().traceOut.empty()) {
         TraceWriter::global().open(options().traceOut);
+    }
+    const std::string &stats_path = options().statsJson;
+    if (!stats_path.empty() && stats_path != "-") {
+        // An unwritable --stats-json= path must fail before the run,
+        // not lose the results after hours of simulation.
+        std::FILE *probe = std::fopen(stats_path.c_str(), "w");
+        fatal_if(probe == nullptr,
+                 "telemetry: cannot write stats JSON to '%s': %s",
+                 stats_path.c_str(), std::strerror(errno));
+        std::fclose(probe);
     }
 }
 

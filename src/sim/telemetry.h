@@ -72,10 +72,12 @@ unsigned parseHostThreads(const char *text, const char *source,
  * Process-wide telemetry + kernel options, settable from the CLI
  * (--stats-json=, --trace-out=, --stats-interval=, --debug-flags=,
  * --host-threads=, --host-partition=, --checkpoint-in=,
- * --checkpoint-out=, --checkpoint-at=), the environment
- * (HWGC_STATS_JSON, HWGC_TRACE_OUT, HWGC_STATS_INTERVAL, HWGC_DEBUG,
- * HWGC_HOST_THREADS, HWGC_HOST_PARTITION, HWGC_CHECKPOINT_IN,
- * HWGC_CHECKPOINT_OUT, HWGC_CHECKPOINT_AT) or directly by tests.
+ * --checkpoint-out=, --checkpoint-at=, --profile, --watchdog-secs=,
+ * --bench-out=), the environment (HWGC_STATS_JSON, HWGC_TRACE_OUT,
+ * HWGC_STATS_INTERVAL, HWGC_DEBUG, HWGC_HOST_THREADS,
+ * HWGC_HOST_PARTITION, HWGC_CHECKPOINT_IN, HWGC_CHECKPOINT_OUT,
+ * HWGC_CHECKPOINT_AT, HWGC_PROFILE, HWGC_WATCHDOG_SECS,
+ * HWGC_BENCH_OUT) or directly by tests.
  */
 struct Options
 {
@@ -117,6 +119,32 @@ struct Options
      * registered component names (see HwgcConfig::hostPartition).
      */
     std::string hostPartition;
+
+    /**
+     * Cycle-accounting profiler (DESIGN.md §10): every component
+     * classifies each executed cycle (busy / stall cause / idle), and
+     * the bottleneck report lands in the stats JSON, the trace's
+     * counter tracks, and heap_inspector --profile. Observational:
+     * simulated cycles and core statistics are bit-identical either
+     * way (tests/test_profiler.cc).
+     */
+    bool profile = false;
+
+    /**
+     * Progress watchdog: if a single System::run*() call makes no
+     * forward progress for this many host seconds, dump the live
+     * bottleneck report + stats JSON to stderr and abort (0 off).
+     * Catches wedged simulations — a deadlocked model otherwise spins
+     * silently forever.
+     */
+    double watchdogSecs = 0.0;
+
+    /**
+     * Directory for canonical per-bench BENCH_<name>.json result
+     * files ("" off). scripts/bench_compare.py diffs two such
+     * directories; bench/baseline/ holds the committed reference.
+     */
+    std::string benchOut;
 };
 
 /** The mutable global options instance. */
@@ -276,6 +304,7 @@ class TraceWriter
     void emitPrefix();
 
     std::FILE *out_ = nullptr;
+    std::string path_; //!< Open file's path (error reporting).
     std::uint64_t events_ = 0;
     std::map<std::string, unsigned> tracks_;
 };
