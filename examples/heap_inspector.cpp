@@ -15,12 +15,12 @@
  *   $ ./build/examples/heap_inspector --profile [benchmark]
  *
  * Post-mortem mode: point it at a checkpoint file — typically the
- * "<path>.crash" dump the device writes on a fatal error when
+ * "<path>.crash.<pid>" dump the device writes on a fatal error when
  * --checkpoint-out= is armed — and it prints the chunk directory, the
  * device configuration signature, the MMIO/phase state, and the saved
  * kernel clock instead of running a GC.
  *
- *   $ ./build/examples/heap_inspector --post-mortem run.ckpt.crash
+ *   $ ./build/examples/heap_inspector --post-mortem run.ckpt.crash.1234
  */
 
 #include <cstdio>

@@ -8,9 +8,12 @@ in bench/bench_util.h) carries deterministic integer metrics
 (simulated cycles, counts) plus the profiler's per-phase cycle-class
 attribution, and an advisory host wall-clock.
 
-Exit status is nonzero if any metric or attribution entry differs
-(simulation is deterministic, so the compare is exact), or if a
-baseline record is missing from NEW_DIR. Host wall-clock changes and
+The compare is exhaustive, not fail-fast: every malformed record,
+every missing/extra record and every differing, missing or extra
+metric/attribution key across the whole tree is collected and printed
+as one diff, so a single run shows the complete blast radius of a
+change. Exit status is nonzero if anything deterministic differs or
+the baseline directory is empty/missing. Host wall-clock changes and
 records present only in NEW_DIR produce warnings, never failures —
 wall clock depends on the machine, and a brand-new bench has no
 baseline yet.
@@ -25,14 +28,24 @@ from pathlib import Path
 HOST_WARN_RATIO = 0.25
 
 
-def load_records(directory):
+def load_records(directory, errors):
+    """Loads every record, appending per-file problems to errors
+    instead of dying on the first one."""
     records = {}
     for path in sorted(Path(directory).glob("BENCH_*.json")):
-        with open(path) as f:
-            data = json.load(f)
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, ValueError) as exc:
+            errors.append(f"{path}: unreadable record: {exc}")
+            continue
         if data.get("schema") != 1:
-            sys.exit(f"error: {path}: unsupported schema "
-                     f"{data.get('schema')!r}")
+            errors.append(f"{path}: unsupported schema "
+                          f"{data.get('schema')!r}")
+            continue
+        if "bench" not in data:
+            errors.append(f"{path}: record has no 'bench' name")
+            continue
         records[data["bench"]] = data
     return records
 
@@ -46,26 +59,28 @@ def flatten_attribution(record):
     return flat
 
 
+def diff_keyed(name, kind, base, new, failures):
+    """Reports every missing, extra and differing key of one mapping,
+    naming which side each key is absent from."""
+    for key in sorted(set(base) | set(new)):
+        label = key if isinstance(key, str) else "/".join(key)
+        if key not in new:
+            failures.append(f"{name}: {kind} '{label}' missing from new "
+                            f"run (baseline has {base[key]})")
+        elif key not in base:
+            failures.append(f"{name}: {kind} '{label}' only in new run "
+                            f"(value {new[key]}, no baseline)")
+        elif base[key] != new[key]:
+            failures.append(f"{name}: {kind} '{label}': baseline "
+                            f"{base[key]} != new {new[key]}")
+
+
 def compare_record(name, base, new):
     failures = []
-    base_metrics = base.get("metrics", {})
-    new_metrics = new.get("metrics", {})
-    for label in sorted(set(base_metrics) | set(new_metrics)):
-        old_v = base_metrics.get(label)
-        new_v = new_metrics.get(label)
-        if old_v != new_v:
-            failures.append(
-                f"{name}: metric '{label}': baseline {old_v} != new {new_v}")
-
-    base_attr = flatten_attribution(base)
-    new_attr = flatten_attribution(new)
-    for key in sorted(set(base_attr) | set(new_attr)):
-        old_v = base_attr.get(key, 0)
-        new_v = new_attr.get(key, 0)
-        if old_v != new_v:
-            phase, cls = key
-            failures.append(f"{name}: attribution {phase}/{cls}: "
-                            f"baseline {old_v} != new {new_v}")
+    diff_keyed(name, "metric", base.get("metrics", {}),
+               new.get("metrics", {}), failures)
+    diff_keyed(name, "attribution", flatten_attribution(base),
+               flatten_attribution(new), failures)
 
     old_host = base.get("host_seconds", 0.0)
     new_host = new.get("host_seconds", 0.0)
@@ -85,21 +100,33 @@ def main():
     parser.add_argument("new", help="freshly produced --bench-out dir")
     args = parser.parse_args()
 
-    baseline = load_records(args.baseline)
-    new = load_records(args.new)
-    if not baseline:
-        sys.exit(f"error: no BENCH_*.json records in {args.baseline}")
+    if not Path(args.baseline).is_dir():
+        sys.exit(f"error: baseline directory '{args.baseline}' does not "
+                 "exist")
 
     failures = []
-    for name in sorted(baseline):
-        if name not in new:
-            failures.append(f"{name}: record missing from {args.new} "
-                            "(bench not run or failed to write)")
-            continue
-        failures.extend(compare_record(name, baseline[name], new[name]))
-    for name in sorted(set(new) - set(baseline)):
+    baseline = load_records(args.baseline, failures)
+    new = load_records(args.new, failures)
+    if not baseline:
+        print(f"error: no valid BENCH_*.json records in {args.baseline}")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+
+    missing = sorted(set(baseline) - set(new))
+    extra = sorted(set(new) - set(baseline))
+    if missing or extra:
+        print(f"record diff: {len(baseline)} baseline, {len(new)} new, "
+              f"{len(missing)} missing, {len(extra)} extra")
+    for name in missing:
+        failures.append(f"{name}: record missing from {args.new} "
+                        "(bench not run or failed to write)")
+    for name in extra:
         print(f"warning: {name}: new record has no baseline; commit "
               f"{args.new}/BENCH_{name}.json to bench/baseline/")
+
+    for name in sorted(set(baseline) & set(new)):
+        failures.extend(compare_record(name, baseline[name], new[name]))
 
     if failures:
         print(f"\n{len(failures)} deterministic difference(s):")

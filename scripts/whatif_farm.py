@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Checkpoint-fork what-if farm (DESIGN.md SS11).
+
+Snapshot one warm heap, then fork it across a grid of accelerator
+configurations in parallel worker processes: every worker restores the
+same farm snapshot (fuzz_driver --farm-run), runs one measured GC
+pause under its own configuration with --stats-json/--profile
+telemetry, and the farm aggregates every result plus the profiler's
+bottleneck attribution into a single comparison report
+(report.json + report.md).
+
+Because heap construction and warmup are paid once instead of once per
+grid point, the farm's wall-clock beats the cold rerun it replaces;
+--compare-cold measures that directly by also running every grid point
+cold (build + warm + measure) and reporting the speedup.
+
+Usage:
+    scripts/whatif_farm.py --out-dir=/tmp/farm [--seed=42] [--jobs=8]
+    scripts/whatif_farm.py --out-dir=/tmp/farm --compare-cold
+    scripts/whatif_farm.py --out-dir=/tmp/farm \
+        --configs 'tiny=mq=32;wide=mq=2048'
+"""
+
+import argparse
+import concurrent.futures
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+# The builtin grid: mark-queue capacity x MSHR budget x bandwidth cap,
+# 3 x 2 x 2 = 12 design points bracketing the paper's sweeps (Fig 19
+# queue sizing, Fig 16 bandwidth sensitivity).
+BUILTIN_GRID = [
+    (f"mq{mq}-mshr{mshrs}-{'bw' + str(bw) if bw else 'nobw'}",
+     f"mq={mq},mshrs={mshrs}" + (f",bw={bw}" if bw else ""))
+    for mq in (1024, 128, 32)
+    for mshrs in (2, 8)
+    for bw in (0, 2)
+]
+
+STALL_KEYS = ("stallDownstreamFull", "stallUpstreamEmpty", "stallDram",
+              "stallBus", "stallPtw", "stallMarkbit", "stallBarrier")
+
+
+def run(cmd, log_path):
+    """Runs one worker, teeing stdout/stderr to a log file."""
+    start = time.monotonic()
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    Path(log_path).write_text(proc.stdout)
+    return proc.returncode, time.monotonic() - start
+
+
+def profiler_attribution(stats_path):
+    """Sums the cycle-accounting classes across every component's
+    'total' vector and names the dominant stall class."""
+    try:
+        groups = json.loads(Path(stats_path).read_text())["groups"]
+    except (OSError, ValueError, KeyError):
+        return None
+    classes = {}
+    per_component = {}
+    for path, group in groups.items():
+        if ".profile." not in path:
+            continue
+        vec = group.get("vectors", {}).get("total")
+        if not vec:
+            continue
+        labels = vec["labels"]
+        component = path.split(".profile.", 1)[1]
+        stalls = {k: v for k, v in labels.items()
+                  if k in STALL_KEYS and v > 0}
+        if stalls:
+            top = max(stalls, key=stalls.get)
+            per_component[component] = {"class": top,
+                                        "cycles": stalls[top]}
+        for k, v in labels.items():
+            classes[k] = classes.get(k, 0) + v
+    if not classes:
+        return None
+    stall_total = {k: classes.get(k, 0) for k in STALL_KEYS}
+    top = max(stall_total, key=stall_total.get)
+    return {
+        "classes": classes,
+        "topStallClass": top if stall_total[top] > 0 else None,
+        "topStallCycles": stall_total[top],
+        "perComponentTopStall": per_component,
+    }
+
+
+def parse_configs(spec):
+    configs = []
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if "=" not in entry:
+            sys.exit(f"whatif_farm: bad config entry '{entry}' "
+                     "(want label=spec)")
+        label, config = entry.split("=", 1)
+        configs.append((label, config))
+    return configs
+
+
+def farm_worker(args, out_dir, snapshot, label, spec, cold):
+    """Builds the command line for one grid point."""
+    tag = ("cold-" if cold else "") + label
+    result = out_dir / f"{tag}.json"
+    cmd = [args.driver]
+    if cold:
+        cmd += [f"--farm-cold", f"--seed={args.seed}",
+                f"--pauses={args.pauses}"]
+        if args.live:
+            cmd.append(f"--live={args.live}")
+    else:
+        cmd.append(f"--farm-run={snapshot}")
+    cmd += [f"--config={spec}", f"--label={label}",
+            f"--result-json={result}",
+            f"--stats-json={out_dir / (tag + '.stats.json')}",
+            "--profile"]
+    return tag, cmd, result
+
+
+def render_markdown(report):
+    lines = [
+        "# What-if farm report",
+        "",
+        f"Snapshot: seed {report['snapshot']['seed']}, "
+        f"{report['snapshot']['warmPauses']} warm pauses, "
+        f"{report['snapshot']['liveObjects']} live objects "
+        f"({report['snapshot']['hostSeconds']:.1f} s to build once).",
+        "",
+        "| config | spec | GC cycles | vs best | marked | freed "
+        "| top bottleneck | setup ms | pause ms |",
+        "|---|---|---:|---:|---:|---:|---|---:|---:|",
+    ]
+    runs = sorted(report["configs"], key=lambda r: r["gcCycles"])
+    best = runs[0]["gcCycles"] if runs else 1
+    for r in runs:
+        prof = r.get("profiler") or {}
+        top = prof.get("topStallClass") or "-"
+        lines.append(
+            f"| {r['label']} | `{r['config']}` | {r['gcCycles']} "
+            f"| {r['gcCycles'] / best:.2f}x | {r['markedCount']} "
+            f"| {r['freedObjects']} | {top} "
+            f"| {r['setupHostMs']:.0f} | {r['pauseHostMs']:.0f} |")
+    if report.get("coldCompare"):
+        cc = report["coldCompare"]
+        lines += [
+            "",
+            f"Cold-rerun control: farm {cc['farmWallSeconds']:.1f} s "
+            f"(incl. snapshot) vs cold {cc['coldWallSeconds']:.1f} s "
+            f"-> {cc['speedup']:.2f}x; functional outcomes "
+            + ("**identical**." if cc["functionalMatch"]
+               else "**DIVERGED** (investigate!)."),
+        ]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fork one warm-heap snapshot across a config grid.")
+    parser.add_argument("--driver",
+                        default="build/examples/fuzz_driver",
+                        help="fuzz_driver binary")
+    parser.add_argument("--out-dir", required=True, type=Path)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--pauses", type=int, default=3)
+    parser.add_argument("--live", type=int, default=0,
+                        help="live-object override for the workload")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="parallel worker processes")
+    parser.add_argument("--configs", default=None,
+                        help="'label=spec;label=spec' grid override")
+    parser.add_argument("--compare-cold", action="store_true",
+                        help="also run every point cold and report "
+                             "the farm's wall-clock speedup")
+    args = parser.parse_args()
+
+    if not Path(args.driver).exists():
+        sys.exit(f"whatif_farm: driver '{args.driver}' not found "
+                 "(build first, or pass --driver)")
+    grid = parse_configs(args.configs) if args.configs else BUILTIN_GRID
+    out_dir = args.out_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    # Phase 1 — snapshot once.
+    farm_start = time.monotonic()
+    snapshot = out_dir / "warm.farm"
+    snap_cmd = [args.driver, f"--farm-snapshot={snapshot}",
+                f"--seed={args.seed}", f"--pauses={args.pauses}"]
+    if args.live:
+        snap_cmd.append(f"--live={args.live}")
+    code, snap_seconds = run(snap_cmd, out_dir / "snapshot.log")
+    if code != 0:
+        sys.exit(f"whatif_farm: snapshot failed (rc={code}), see "
+                 f"{out_dir / 'snapshot.log'}")
+    print(f"snapshot: {snapshot} ({snap_seconds:.1f} s)")
+
+    # Phase 2 — fork it across the grid in parallel workers.
+    def launch(jobs):
+        results = {}
+        with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+            futures = {
+                pool.submit(run, cmd, out_dir / f"{tag}.log"): (tag, path)
+                for tag, cmd, path in jobs
+            }
+            for future in concurrent.futures.as_completed(futures):
+                tag, path = futures[future]
+                code, seconds = future.result()
+                results[tag] = (code, seconds, path)
+                status = "ok" if code == 0 else f"FAILED rc={code}"
+                print(f"  {tag}: {status} ({seconds:.1f} s)")
+        return results
+
+    print(f"farm: {len(grid)} configs x {args.jobs} workers")
+    warm_results = launch([
+        farm_worker(args, out_dir, snapshot, label, spec, cold=False)
+        for label, spec in grid
+    ])
+    farm_seconds = time.monotonic() - farm_start
+
+    failed = [t for t, (code, _, _) in warm_results.items() if code != 0]
+    if failed:
+        sys.exit(f"whatif_farm: workers failed: {', '.join(sorted(failed))}")
+
+    # Phase 3 — aggregate results + profiler attribution.
+    configs = []
+    snap_meta = {"seed": args.seed, "warmPauses": args.pauses,
+                 "liveObjects": 0, "hostSeconds": snap_seconds}
+    for label, spec in grid:
+        _, _, path = warm_results[label]
+        record = json.loads(Path(path).read_text())
+        record["profiler"] = profiler_attribution(
+            out_dir / f"{label}.stats.json")
+        record["workerWallSeconds"] = warm_results[label][1]
+        snap_meta["liveObjects"] = record["snapshotLiveObjects"]
+        configs.append(record)
+
+    report = {"snapshot": snap_meta, "configs": configs}
+
+    # Optional control: the same grid, every point cold.
+    if args.compare_cold:
+        print(f"cold control: {len(grid)} configs")
+        cold_start = time.monotonic()
+        cold_results = launch([
+            farm_worker(args, out_dir, snapshot, label, spec, cold=True)
+            for label, spec in grid
+        ])
+        cold_seconds = time.monotonic() - cold_start
+        functional_match = True
+        for label, _ in grid:
+            code, _, path = cold_results[f"cold-{label}"]
+            if code != 0:
+                functional_match = False
+                continue
+            cold_rec = json.loads(Path(path).read_text())
+            warm_rec = next(c for c in configs if c["label"] == label)
+            for key in ("markCycles", "sweepCycles", "markDigest",
+                        "markedCount", "freedObjects", "liveAfter"):
+                if cold_rec[key] != warm_rec[key]:
+                    functional_match = False
+                    print(f"  MISMATCH {label}.{key}: "
+                          f"cold {cold_rec[key]} != farm {warm_rec[key]}")
+        report["coldCompare"] = {
+            "farmWallSeconds": farm_seconds,
+            "coldWallSeconds": cold_seconds,
+            "speedup": cold_seconds / max(farm_seconds, 1e-9),
+            "functionalMatch": functional_match,
+        }
+
+    (out_dir / "report.json").write_text(
+        json.dumps(report, indent=2) + "\n")
+    (out_dir / "report.md").write_text(render_markdown(report))
+    print(f"report: {out_dir / 'report.json'}, {out_dir / 'report.md'}")
+
+    best = min(configs, key=lambda r: r["gcCycles"])
+    worst = max(configs, key=lambda r: r["gcCycles"])
+    print(f"best {best['label']} ({best['gcCycles']} cycles), worst "
+          f"{worst['label']} ({worst['gcCycles']} cycles, "
+          f"{worst['gcCycles'] / best['gcCycles']:.2f}x)")
+    if args.compare_cold:
+        cc = report["coldCompare"]
+        print(f"farm {cc['farmWallSeconds']:.1f} s vs cold "
+              f"{cc['coldWallSeconds']:.1f} s -> {cc['speedup']:.2f}x, "
+              f"functional outcomes "
+              f"{'identical' if cc['functionalMatch'] else 'DIVERGED'}")
+        if not cc["functionalMatch"]:
+            sys.exit(1)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

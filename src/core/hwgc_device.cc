@@ -446,7 +446,8 @@ HwgcDevice::configure(const runtime::Heap &heap)
     // Progress watchdog (--watchdog-secs= / HWGC_WATCHDOG_SECS): a
     // wedged run dumps its live bottleneck report and stats to stderr
     // before aborting; the panic also fires any armed crash hook, so
-    // the "<path>.crash" post-mortem path is shared with real panics.
+    // the "<path>.crash.<pid>" post-mortem path is shared with real
+    // panics.
     if (opts.watchdogSecs > 0.0) {
         system_.setWatchdog(opts.watchdogSecs,
                             [this] { writeWatchdogReport(); });
@@ -673,24 +674,9 @@ HwgcDevice::saveCheckpoint(checkpoint::Serializer &ser) const
     traceQueue_->save(ser);
     ser.endChunk();
 
-    // The functional memory image, pages sorted for a byte-stable
-    // file (PhysMem iterates an unordered map).
+    // The functional memory image (shared farm-snapshot encoding).
     ser.beginChunk("physmem");
-    const mem::PhysMem::Snapshot snap = mem_.snapshot();
-    std::vector<std::uint64_t> page_nums;
-    page_nums.reserve(snap.pages.size());
-    for (const auto &[num, data] : snap.pages) {
-        page_nums.push_back(num);
-    }
-    std::sort(page_nums.begin(), page_nums.end());
-    ser.putU64(mem_.size());
-    ser.putU64(page_nums.size());
-    for (const std::uint64_t num : page_nums) {
-        const auto &data = snap.pages.at(num);
-        ser.putU64(num);
-        ser.putU64(data.size());
-        ser.putBytes(data.data(), data.size());
-    }
+    checkpoint::putPhysMem(ser, mem_);
     ser.endChunk();
 }
 
@@ -732,22 +718,7 @@ HwgcDevice::restoreCheckpoint(checkpoint::Deserializer &des)
     des.endChunk();
 
     des.beginChunk("physmem");
-    const std::uint64_t mem_size = des.getU64();
-    fatal_if(mem_size != mem_.size(),
-             "checkpoint '%s': physical memory is %llu bytes but this "
-             "configuration has %llu — configurations differ",
-             des.origin().c_str(), (unsigned long long)mem_size,
-             (unsigned long long)mem_.size());
-    mem::PhysMem::Snapshot snap;
-    const std::uint64_t num_pages = des.getU64();
-    for (std::uint64_t i = 0; i < num_pages; ++i) {
-        const std::uint64_t num = des.getU64();
-        const std::uint64_t bytes = des.getU64();
-        std::vector<std::uint8_t> data(bytes);
-        des.getBytes(data.data(), data.size());
-        snap.pages.emplace(num, std::move(data));
-    }
-    mem_.restore(snap);
+    checkpoint::getPhysMem(des, mem_);
     des.endChunk();
 
     fatal_if(!des.atEnd(),
@@ -816,6 +787,10 @@ HwgcDevice::crashHook(void *ctx)
 void
 HwgcDevice::writeCrashDump()
 {
+    // Artifact names carry the pid so parallel fuzz/farm workers (and
+    // concurrent --watchdog-secs panics) never clobber each other.
+    const std::string base =
+        checkpoint::crashArtifactBase(checkpointOut_);
     // The stats dump first: it only reads counters, so it succeeds
     // even when the failure struck mid-tick.
     telemetry::RunMetadata meta;
@@ -823,14 +798,14 @@ HwgcDevice::writeCrashDump()
     meta.config = configSignature();
     meta.simCycles = system_.now();
     telemetry::StatsRegistry::global().exportJsonFile(
-        checkpointOut_ + ".stats.json", meta);
-    inform("crash dump: wrote '%s.stats.json'", checkpointOut_.c_str());
+        base + ".stats.json", meta);
+    inform("crash dump: wrote '%s.stats.json'", base.c_str());
     // Best-effort architectural snapshot. A mid-tick failure can make
     // component state unserializable (the save() invariants fire); the
     // hook is cleared before it runs, so that second failure cannot
     // recurse — the original diagnostic is already on stderr.
-    if (writeCheckpoint(checkpointOut_ + ".crash")) {
-        inform("crash dump: wrote '%s.crash'", checkpointOut_.c_str());
+    if (writeCheckpoint(base)) {
+        inform("crash dump: wrote '%s'", base.c_str());
     }
 }
 

@@ -126,8 +126,10 @@ class HwgcDevice
      * completed GC phase, or — when @p at is nonzero — once, at the
      * first inter-cycle boundary at or after device cycle @p at (even
      * mid-phase). Arming also installs a crash hook that dumps
-     * "<path>.crash" plus "<path>.stats.json" on any panic()/fatal()
-     * for post-mortem inspection (examples/heap_inspector).
+     * "<path>.crash.<pid>" plus "<path>.crash.<pid>.stats.json" on
+     * any panic()/fatal() for post-mortem inspection
+     * (examples/heap_inspector); the pid suffix keeps artifacts from
+     * parallel fuzz/farm workers collision-free.
      * configure() arms automatically from --checkpoint-out= /
      * HWGC_CHECKPOINT_OUT; an empty @p path disarms.
      */

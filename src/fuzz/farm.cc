@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Farm snapshot serialization.
+ */
+
+#include "farm.h"
+
+#include "sim/logging.h"
+
+namespace hwgc::fuzz
+{
+
+namespace
+{
+
+constexpr std::uint64_t farmVersion = 1;
+
+} // namespace
+
+void
+saveFarmSnapshot(const std::string &path, const FarmMeta &meta,
+                 const workload::GraphParams &params,
+                 const runtime::Heap &heap,
+                 const workload::GraphBuilder &builder,
+                 const mem::PhysMem &mem)
+{
+    checkpoint::Serializer ser;
+
+    ser.beginChunk("farm");
+    ser.putU64(farmVersion);
+    ser.putU64(meta.seed);
+    ser.putU64(meta.warmPauses);
+    ser.putU64(meta.liveObjects);
+    ser.putU64(meta.bytesAllocated);
+    ser.putU64(mem.size());
+    ser.endChunk();
+
+    ser.beginChunk("graphparams");
+    workload::putGraphParams(ser, params);
+    ser.endChunk();
+
+    ser.beginChunk("heap");
+    heap.save(ser);
+    ser.endChunk();
+
+    ser.beginChunk("builder");
+    builder.save(ser);
+    ser.endChunk();
+
+    ser.beginChunk("physmem");
+    checkpoint::putPhysMem(ser, mem);
+    ser.endChunk();
+
+    ser.writeFile(path);
+}
+
+FarmUniverse
+loadFarmSnapshot(const std::string &path)
+{
+    checkpoint::Deserializer des = checkpoint::Deserializer::fromFile(path);
+    FarmUniverse u;
+
+    des.beginChunk("farm");
+    const std::uint64_t version = des.getU64();
+    fatal_if(version != farmVersion,
+             "farm snapshot '%s': unsupported version %llu", path.c_str(),
+             static_cast<unsigned long long>(version));
+    u.meta.seed = des.getU64();
+    u.meta.warmPauses = des.getU64();
+    u.meta.liveObjects = des.getU64();
+    u.meta.bytesAllocated = des.getU64();
+    const std::uint64_t memBytes = des.getU64();
+    des.endChunk();
+
+    des.beginChunk("graphparams");
+    u.params = workload::getGraphParams(des);
+    des.endChunk();
+
+    // Construct the universe before touching the image: the Heap
+    // constructor maps the metadata regions and formats memory, all of
+    // which the physmem chunk (restored last) overwrites with the
+    // snapshotted bytes — including the page-table entries the
+    // restored pagesAllocated count refers to.
+    u.mem = std::make_unique<mem::PhysMem>(memBytes);
+    u.heap = std::make_unique<runtime::Heap>(*u.mem);
+    u.builder =
+        std::make_unique<workload::GraphBuilder>(*u.heap, u.params);
+
+    des.beginChunk("heap");
+    u.heap->restore(des);
+    des.endChunk();
+
+    des.beginChunk("builder");
+    u.builder->restore(des);
+    des.endChunk();
+
+    des.beginChunk("physmem");
+    checkpoint::getPhysMem(des, *u.mem);
+    des.endChunk();
+
+    return u;
+}
+
+} // namespace hwgc::fuzz

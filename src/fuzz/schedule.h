@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fuzz schedules: seeded mutate/collect interleavings over generated
+ * heaps (DESIGN.md §11).
+ *
+ * A schedule is the complete deterministic recipe for one fuzz case:
+ * which heap to build (a shape family plus size overrides, all
+ * derived from the seed) and the exact sequence of mutator churn and
+ * GC pauses to drive it through. Schedules serialize to a small
+ * line-oriented text format so divergence repros can be committed to
+ * tests/corpus/ and replayed byte-identically forever.
+ */
+
+#ifndef HWGC_FUZZ_SCHEDULE_H
+#define HWGC_FUZZ_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+#include "workload/graph_gen.h"
+
+namespace hwgc::fuzz
+{
+
+/**
+ * Heap shape families. Random draws a fully mixed shape from the
+ * seed (the test_diff_reachability style); the rest are adversarial
+ * presets targeting specific accelerator weak points.
+ */
+enum class Shape
+{
+    Random,     //!< Seed-mixed fan-out/sharing/cycles/arrays.
+    Chain,      //!< One deep pointer chain (serializes the marker).
+    SpillStorm, //!< Array-heavy wide graph (overflows the mark queue).
+    Sparse,     //!< Padded sparse layout (thrashes the unit TLBs).
+};
+
+const char *shapeName(Shape shape);
+
+/** Parses a shapeName() string; false (and @p out untouched) if unknown. */
+bool shapeFromName(const std::string &name, Shape &out);
+
+/** One step of the mutator/GC interleaving. */
+struct Op
+{
+    enum class Kind
+    {
+        Mutate,  //!< builder.mutate(churnPermille / 1000.0).
+        Collect, //!< Full stop-the-world pause (mark + sweep).
+    };
+
+    Kind kind = Kind::Collect;
+    unsigned churnPermille = 0; //!< Mutate only; 0..1000.
+};
+
+/** A complete fuzz case. */
+struct Schedule
+{
+    std::uint64_t seed = 0;
+    Shape shape = Shape::Random;
+
+    /** Size overrides; 0 means "derived from the seed". */
+    std::uint64_t liveObjects = 0;
+    std::uint64_t garbageObjects = 0;
+
+    std::vector<Op> ops;
+
+    /** Number of Collect ops (how many pauses the case runs). */
+    unsigned collects() const;
+};
+
+/**
+ * Derives the full schedule for @p seed: shape family, sizes, and a
+ * 2–3 pause interleaving with varying churn. Pure function of the
+ * seed (splitmix64 mixing), so "--seeds=0:200" names 200 exact cases.
+ */
+Schedule generate(std::uint64_t seed);
+
+/** Expands a schedule into the GraphParams that build its heap. */
+workload::GraphParams graphParams(const Schedule &schedule);
+
+/** @name Text round-trip (the tests/corpus/ *.sched format) @{ */
+std::string toText(const Schedule &schedule);
+bool fromText(const std::string &text, Schedule &out, std::string *err);
+bool loadFile(const std::string &path, Schedule &out, std::string *err);
+bool saveFile(const std::string &path, const Schedule &schedule);
+/** @} */
+
+} // namespace hwgc::fuzz
+
+#endif // HWGC_FUZZ_SCHEDULE_H

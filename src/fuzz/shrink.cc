@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Schedule shrinking implementation.
+ */
+
+#include "shrink.h"
+
+namespace hwgc::fuzz
+{
+
+namespace
+{
+
+constexpr unsigned maxProbes = 30;
+
+/** Replays a candidate; true if it still diverges. */
+bool
+stillFails(const Schedule &candidate, const FuzzOptions &options,
+           ShrinkStats &stats)
+{
+    if (stats.probes >= maxProbes) {
+        return false; // Budget exhausted: treat as "don't take it".
+    }
+    ++stats.probes;
+    FuzzOptions probe = options;
+    probe.writeArtifacts = false;
+    return !runSchedule(candidate, probe).ok;
+}
+
+} // namespace
+
+Schedule
+shrink(const Schedule &schedule, const FuzzOptions &options,
+       const FuzzResult &failure, ShrinkStats *stats_out)
+{
+    ShrinkStats stats;
+    stats.originalOps = schedule.ops.size();
+    stats.originalLive = schedule.liveObjects;
+
+    Schedule best = schedule;
+
+    // Stage 1 — prefix truncation: nothing after the failing collect
+    // can matter, so drop it without probing. (A divergence at op K
+    // reproduces from the prefix ending at K by determinism.)
+    if (failure.failedOp >= 0 &&
+        std::size_t(failure.failedOp) + 1 < best.ops.size()) {
+        Schedule candidate = best;
+        candidate.ops.resize(std::size_t(failure.failedOp) + 1);
+        if (stillFails(candidate, options, stats)) {
+            best = std::move(candidate);
+        }
+    }
+
+    // Stage 2 — ddmin-style op deletion: try removing chunks of the
+    // remaining ops, halving the chunk size until single ops. The
+    // final collect stays (a schedule must collect to diverge).
+    for (std::size_t chunk = std::max<std::size_t>(best.ops.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        bool removed_any = false;
+        for (std::size_t start = 0;
+             start + 1 < best.ops.size() && stats.probes < maxProbes;) {
+            Schedule candidate = best;
+            const std::size_t len =
+                std::min(chunk, candidate.ops.size() - 1 - start);
+            if (len == 0) {
+                break;
+            }
+            candidate.ops.erase(candidate.ops.begin() + start,
+                                candidate.ops.begin() + start + len);
+            if (candidate.collects() > 0 &&
+                stillFails(candidate, options, stats)) {
+                best = std::move(candidate);
+                removed_any = true;
+                // Retry the same position: the next chunk slid here.
+            } else {
+                start += chunk;
+            }
+        }
+        if (chunk == 1 && !removed_any) {
+            break;
+        }
+    }
+
+    // Stage 3 — heap halving: shrink the graph itself while the
+    // divergence survives. Explicit sizes override the seed-derived
+    // defaults, so the schedule file stays self-contained.
+    {
+        Schedule sized = best;
+        if (sized.liveObjects == 0) {
+            sized.liveObjects = graphParams(sized).liveObjects;
+        }
+        if (sized.garbageObjects == 0) {
+            sized.garbageObjects = graphParams(sized).garbageObjects;
+        }
+        for (unsigned round = 0;
+             round < 4 && stats.probes < maxProbes; ++round) {
+            Schedule candidate = sized;
+            candidate.liveObjects =
+                std::max<std::uint64_t>(candidate.liveObjects / 2, 8);
+            candidate.garbageObjects /= 2;
+            if (candidate.liveObjects == sized.liveObjects) {
+                break;
+            }
+            if (!stillFails(candidate, options, stats)) {
+                break;
+            }
+            sized = std::move(candidate);
+        }
+        if (sized.liveObjects != best.liveObjects ||
+            sized.garbageObjects != best.garbageObjects) {
+            best = std::move(sized);
+        }
+    }
+
+    stats.finalOps = best.ops.size();
+    stats.finalLive = best.liveObjects;
+    if (stats_out != nullptr) {
+        *stats_out = stats;
+    }
+    return best;
+}
+
+} // namespace hwgc::fuzz

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Schedule minimization (DESIGN.md §11).
+ *
+ * Given a diverging schedule, shrink it to a smaller one that still
+ * diverges: first truncate everything after the failing collection
+ * (the prefix step), then greedily delete earlier ops chunk-by-chunk
+ * (ddmin-style bisection), then halve the heap sizes while the
+ * failure survives. Every probe is a full deterministic replay of a
+ * candidate schedule through the same differential matrix, so the
+ * minimized repro is exact, not probabilistic.
+ */
+
+#ifndef HWGC_FUZZ_SHRINK_H
+#define HWGC_FUZZ_SHRINK_H
+
+#include "fuzz/differ.h"
+
+namespace hwgc::fuzz
+{
+
+/** Bookkeeping from one shrink run. */
+struct ShrinkStats
+{
+    unsigned probes = 0;        //!< Candidate replays attempted.
+    std::size_t originalOps = 0;
+    std::size_t finalOps = 0;
+    std::uint64_t originalLive = 0;
+    std::uint64_t finalLive = 0;
+};
+
+/**
+ * Minimizes @p schedule, which must diverge under @p options (the
+ * caller already observed @p failure from it). Probes are bounded
+ * (~30 replays) and artifact writing is suppressed during probing;
+ * the returned schedule is guaranteed to still diverge.
+ */
+Schedule shrink(const Schedule &schedule, const FuzzOptions &options,
+                const FuzzResult &failure,
+                ShrinkStats *stats = nullptr);
+
+} // namespace hwgc::fuzz
+
+#endif // HWGC_FUZZ_SHRINK_H

@@ -60,6 +60,50 @@ verifyMarks(const runtime::Heap &heap)
     return report;
 }
 
+std::uint64_t
+markSetDigest(const runtime::Heap &heap)
+{
+    // XOR of splitmix64-mixed refs: order-independent, and a single
+    // flipped mark bit flips ~32 digest bits.
+    std::uint64_t digest = 0;
+    auto &mem = const_cast<runtime::Heap &>(heap);
+    for (const auto &obj : heap.objects()) {
+        if (!StatusWord::marked(mem.read(obj.ref))) {
+            continue;
+        }
+        std::uint64_t z = obj.ref + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        digest ^= z ^ (z >> 31);
+    }
+    return digest;
+}
+
+VerifyReport
+diffMarks(const runtime::Heap &heap, const runtime::Heap &other)
+{
+    VerifyReport report;
+    auto &a = const_cast<runtime::Heap &>(heap);
+    auto &b = const_cast<runtime::Heap &>(other);
+    std::unordered_set<runtime::ObjRef> b_marked;
+    for (const auto &obj : other.objects()) {
+        if (StatusWord::marked(b.read(obj.ref))) {
+            b_marked.insert(obj.ref);
+        }
+    }
+    for (const auto &obj : heap.objects()) {
+        const bool here = StatusWord::marked(a.read(obj.ref));
+        const bool there = b_marked.count(obj.ref) != 0;
+        if (here != there) {
+            return fail("object " + hex(obj.ref) +
+                        (here ? " marked here but not in the other heap"
+                              : " marked in the other heap but not here"));
+        }
+        ++report.checked;
+    }
+    return report;
+}
+
 VerifyReport
 verifyFreeLists(const runtime::Heap &heap)
 {

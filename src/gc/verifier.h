@@ -45,6 +45,24 @@ VerifyReport verifyFreeLists(const runtime::Heap &heap);
  */
 VerifyReport verifySweptHeap(const runtime::Heap &heap);
 
+/**
+ * Order-independent digest of the marked object set: XOR of a mixed
+ * hash of every marked reference. Two heaps that evolved through the
+ * same deterministic operation sequence have identical object
+ * addresses, so digest equality is mark-set equality; the fuzz differ
+ * compares it across kernels and configurations without shipping the
+ * full set around.
+ */
+std::uint64_t markSetDigest(const runtime::Heap &heap);
+
+/**
+ * Explains a digest mismatch: compares @p heap's marked set against
+ * @p other's and names the first reference marked in exactly one of
+ * them. Both heaps must hold the same object population.
+ */
+VerifyReport diffMarks(const runtime::Heap &heap,
+                       const runtime::Heap &other);
+
 } // namespace hwgc::gc
 
 #endif // HWGC_GC_VERIFIER_H

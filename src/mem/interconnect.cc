@@ -346,8 +346,12 @@ Interconnect::save(checkpoint::Serializer &ser) const
     }
     ser.putU64(rrNext_);
     ser.putDouble(throttleTokens_);
-    for (const unsigned size : publishedSize_) {
-        ser.putU64(size);
+    // Record the actual end-of-cycle occupancy, not the publishedSize_
+    // scratch: under the dense/event kernels bspPublish() never runs,
+    // so the scratch would be stale (restore() rebuilds its own copy
+    // from the queues either way).
+    for (const auto &port : ports_) {
+        ser.putU64(port.requests.size());
     }
     for (const auto &s : portRequests_) {
         checkpoint::putStat(ser, s);
@@ -389,9 +393,19 @@ Interconnect::restore(checkpoint::Deserializer &des)
     }
     rrNext_ = unsigned(des.getU64());
     throttleTokens_ = des.getDouble();
+    // The published occupancies are consumed but not trusted: they are
+    // BSP-kernel scratch that only bspPublish() maintains, so an image
+    // written under the dense or event kernel carries stale values
+    // (typically the all-zero initial state). At an inter-cycle
+    // boundary published == actual by the publish-every-cycle
+    // invariant, so rebuild them from the restored queues — otherwise
+    // a ParallelBsp resume admits staged sends into already-full
+    // client queues and bspCommit()'s replay overflows.
     for (auto &size : publishedSize_) {
-        size = unsigned(des.getU64());
+        (void)des.getU64();
+        size = 0;
     }
+    bspPublish();
     for (auto &s : portRequests_) {
         checkpoint::getStat(des, s);
     }

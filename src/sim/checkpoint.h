@@ -32,11 +32,14 @@
 #ifndef HWGC_SIM_CHECKPOINT_H
 #define HWGC_SIM_CHECKPOINT_H
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "sim/logging.h"
 #include "sim/random.h"
@@ -305,6 +308,43 @@ class Deserializer
 
     bool atEnd() const { return pos_ >= buf_.size(); }
 
+    /**
+     * Name of the next chunk without consuming it, or "" at end of
+     * file. Lets readers of multi-consumer images (the farm snapshot)
+     * branch on what was saved instead of hard-coding one topology.
+     */
+    std::string
+    peekChunkName()
+    {
+        fatal_if(chunkEnd_ != npos,
+                 "checkpoint '%s': peekChunkName() inside a chunk",
+                 origin_.c_str());
+        if (atEnd()) {
+            return "";
+        }
+        const std::size_t saved = pos_;
+        std::string name = chunkName();
+        pos_ = saved;
+        return name;
+    }
+
+    /** Skips the next chunk wholesale (bounds still validated). */
+    void
+    skipChunk()
+    {
+        fatal_if(chunkEnd_ != npos,
+                 "checkpoint '%s': skipChunk() inside a chunk",
+                 origin_.c_str());
+        fatal_if(atEnd(), "checkpoint '%s': skipChunk() at end of file",
+                 origin_.c_str());
+        const std::string name = chunkName();
+        const std::uint64_t len = rawU64();
+        fatal_if(len > buf_.size() - pos_,
+                 "checkpoint '%s': chunk '%s' truncated",
+                 origin_.c_str(), name.c_str());
+        pos_ += len;
+    }
+
     const std::string &origin() const { return origin_; }
 
     /** Directory entry for post-mortem inspection (heap_inspector). */
@@ -503,6 +543,78 @@ getRng(Deserializer &des, Rng &rng)
 }
 
 /** @} */
+
+/**
+ * @name Functional-memory image serialization
+ *
+ * Shared by the device checkpoint and the farm snapshot: pages are
+ * written sorted so the file is byte-stable (PhysMem iterates an
+ * unordered map). Templated on the memory type to keep sim/ free of a
+ * mem/ dependency; any type with size(), snapshot() and
+ * restore(Snapshot) works.
+ * @{
+ */
+
+template <typename PhysMemT>
+void
+putPhysMem(Serializer &ser, const PhysMemT &mem)
+{
+    const auto snap = mem.snapshot();
+    std::vector<std::uint64_t> page_nums;
+    page_nums.reserve(snap.pages.size());
+    for (const auto &[num, data] : snap.pages) {
+        page_nums.push_back(num);
+    }
+    std::sort(page_nums.begin(), page_nums.end());
+    ser.putU64(mem.size());
+    ser.putU64(page_nums.size());
+    for (const std::uint64_t num : page_nums) {
+        const auto &data = snap.pages.at(num);
+        ser.putU64(num);
+        ser.putU64(data.size());
+        ser.putBytes(data.data(), data.size());
+    }
+}
+
+template <typename PhysMemT>
+void
+getPhysMem(Deserializer &des, PhysMemT &mem)
+{
+    const std::uint64_t mem_size = des.getU64();
+    fatal_if(mem_size != mem.size(),
+             "checkpoint '%s': physical memory is %llu bytes but this "
+             "configuration has %llu — configurations differ",
+             des.origin().c_str(), (unsigned long long)mem_size,
+             (unsigned long long)mem.size());
+    typename PhysMemT::Snapshot snap;
+    const std::uint64_t num_pages = des.getU64();
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+        const std::uint64_t num = des.getU64();
+        const std::uint64_t bytes = des.getU64();
+        std::vector<std::uint8_t> data(bytes);
+        des.getBytes(data.data(), data.size());
+        snap.pages.emplace(num, std::move(data));
+    }
+    mem.restore(snap);
+}
+
+/** @} */
+
+/**
+ * Collision-safe crash-artifact base: "<out>.crash.<pid>[.<tag>]".
+ * Parallel fuzz/farm workers and --watchdog-secs panics all dump
+ * through this path, so artifacts from concurrent processes (and a
+ * caller-supplied tag such as the fuzz seed) never clobber each other.
+ */
+inline std::string
+crashArtifactBase(const std::string &out, const std::string &tag = "")
+{
+    std::string base = out + ".crash." + std::to_string(::getpid());
+    if (!tag.empty()) {
+        base += "." + tag;
+    }
+    return base;
+}
 
 } // namespace hwgc::checkpoint
 

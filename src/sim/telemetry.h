@@ -93,8 +93,10 @@ struct Options
     /**
      * Checkpoint file to write ("" off). Arming this also installs a
      * crash hook: on panic()/fatal() the device writes
-     * "<path>.crash" plus a "<path>.stats.json" registry dump for
-     * post-mortem inspection (examples/heap_inspector).
+     * "<path>.crash.<pid>" plus a "<path>.crash.<pid>.stats.json"
+     * registry dump for post-mortem inspection
+     * (examples/heap_inspector). The pid suffix keeps concurrent
+     * workers' artifacts collision-free.
      */
     std::string checkpointOut;
 

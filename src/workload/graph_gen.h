@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "runtime/heap.h"
+#include "sim/checkpoint.h"
 #include "sim/random.h"
 
 namespace hwgc::workload
@@ -57,8 +58,24 @@ struct GraphParams
     std::uint64_t hotObjects = 0;  //!< Size of the hot set (Fig 21).
     double hotRefFraction = 0.0;   //!< P(shared edge targets hot set).
 
+    /**
+     * Adversarial sparse layout: allocate this many dead padding
+     * objects (payload-only, maxPayloadWords each) after every real
+     * allocation. Live objects end up spread thinly across many more
+     * pages than their count suggests, thrashing the unit TLBs and
+     * the mark-bit locality the accelerator otherwise enjoys. The
+     * pads are unreachable, so the first sweep turns them into
+     * free-list holes and the sparseness persists.
+     */
+    std::uint64_t sparsePadObjects = 0;
+
     std::uint64_t seed = 1;
 };
+
+/** @name GraphParams serialization (farm snapshots) @{ */
+void putGraphParams(checkpoint::Serializer &ser, const GraphParams &p);
+GraphParams getGraphParams(checkpoint::Deserializer &des);
+/** @} */
 
 /** Builds and churns a heap graph matching a GraphParams shape. */
 class GraphBuilder
@@ -83,6 +100,20 @@ class GraphBuilder
 
     /** Objects created so far (live + garbage, pre-sweep). */
     std::uint64_t objectsBuilt() const { return built_; }
+
+    /**
+     * @name Builder-state serialization (farm snapshots)
+     *
+     * Captures the RNG stream and the live/hot candidate lists so a
+     * restored builder continues mutate() bit-identically to the one
+     * that was snapshotted. restore() must run on a builder
+     * constructed with the same GraphParams (seed-checked) over a
+     * heap whose state was restored from the same snapshot.
+     * @{
+     */
+    void save(checkpoint::Serializer &ser) const;
+    void restore(checkpoint::Deserializer &des);
+    /** @} */
 
   private:
     /** Allocates one object with shape drawn from the parameters. */

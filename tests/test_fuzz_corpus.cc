@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Seed-corpus regression test (DESIGN.md §11): every committed
+ * schedule in tests/corpus/ replays green through the full
+ * differential matrix. When a fuzz divergence is fixed, its minimized
+ * .sched repro gets committed here, and this test keeps the bug dead
+ * forever.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.h"
+
+#ifndef HWGC_CORPUS_DIR
+#error "HWGC_CORPUS_DIR must point at tests/corpus/"
+#endif
+
+namespace hwgc
+{
+namespace
+{
+
+std::vector<std::string>
+corpusFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(HWGC_CORPUS_DIR)) {
+        if (entry.path().extension() == ".sched") {
+            files.push_back(entry.path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(FuzzCorpus, CorpusIsPresent)
+{
+    // The committed corpus covers all four shape families; an empty
+    // directory means the test silently checks nothing.
+    EXPECT_GE(corpusFiles().size(), 4u);
+}
+
+TEST(FuzzCorpus, EveryScheduleReplaysGreenThroughTheMatrix)
+{
+    for (const std::string &path : corpusFiles()) {
+        SCOPED_TRACE(path);
+        fuzz::Schedule schedule;
+        std::string err;
+        ASSERT_TRUE(fuzz::loadFile(path, schedule, &err)) << err;
+        ASSERT_GE(schedule.collects(), 1u);
+
+        const fuzz::FuzzResult result = fuzz::runSchedule(schedule);
+        EXPECT_TRUE(result.ok) << result.error;
+        EXPECT_GT(result.collectsRun, 0u);
+    }
+}
+
+} // namespace
+} // namespace hwgc
