@@ -22,6 +22,7 @@
 #include "sim/profiler.h"
 #include "sim/telemetry.h"
 #include "sim/types.h"
+#include "workload/quantile.h"
 
 namespace hwgc::bench
 {
@@ -32,6 +33,13 @@ msFromCycles(double cycles)
 {
     return cycles / 1e6;
 }
+
+// Shared quantile helpers (range-clamped: p99.9 of fewer than 1000
+// samples is the max sample, never an out-of-range read). Benches
+// report percentiles through these, not ad-hoc index arithmetic.
+using workload::nearestRankSorted;
+using workload::quantile;
+using workload::quantileSorted;
 
 /** Geometric mean of a list of ratios. */
 inline double

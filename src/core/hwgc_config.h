@@ -114,6 +114,17 @@ struct HwgcConfig
      * one partition — those are same-cycle coupled and may not split.
      */
     std::string hostPartition;
+
+    /**
+     * SoC shape requested from drivers that can instantiate a device
+     * array (the fuzz differ, fuzz_driver --config=devices=N): values
+     * above 1 build that many fleet-mode devices behind one shared
+     * interconnect + memory and spread the work across them. A
+     * directly constructed HwgcDevice models exactly one instance and
+     * ignores this; FleetLab sizes its array from FleetConfig::devices
+     * instead.
+     */
+    unsigned devices = 1;
 };
 
 } // namespace hwgc::core

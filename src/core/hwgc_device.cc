@@ -19,37 +19,70 @@ namespace hwgc::core
 HwgcDevice::HwgcDevice(mem::PhysMem &mem,
                        const mem::PageTable &page_table,
                        const HwgcConfig &config)
+    : HwgcDevice(mem, page_table, config, nullptr)
+{
+}
+
+HwgcDevice::HwgcDevice(mem::PhysMem &mem,
+                       const mem::PageTable &page_table,
+                       const HwgcConfig &config, const SocContext &soc)
+    : HwgcDevice(mem, page_table, config, &soc)
+{
+}
+
+HwgcDevice::HwgcDevice(mem::PhysMem &mem,
+                       const mem::PageTable &page_table,
+                       const HwgcConfig &config, const SocContext *soc)
     : config_(config), mem_(mem), pageTable_(page_table)
 {
-    system_.setMode(config_.kernel);
-
-    // Memory side: DRAM (Table I) or the ideal pipe (Fig 17).
-    if (config_.memModel == MemModel::Ddr3) {
-        auto dram = std::make_unique<mem::Dram>("dram", config_.dram,
-                                                mem_);
-        dramPtr_ = dram.get();
-        memory_ = std::move(dram);
+    external_ = soc != nullptr;
+    if (external_) {
+        panic_if(soc->system == nullptr || soc->bus == nullptr ||
+                 soc->memory == nullptr,
+                 "fleet device needs a shared system, bus and memory");
+        sys_ = soc->system;
+        busPtr_ = soc->bus;
+        memPtr_ = soc->memory;
+        dramPtr_ = soc->dram;
+        namePrefix_ = soc->namePrefix;
+        statsPrefix_ = soc->statsPrefix;
+        unitPartition_ = soc->unitPartition;
     } else {
-        memory_ = std::make_unique<mem::IdealMem>("idealmem",
-                                                  config_.ideal, mem_);
+        ownSystem_ = std::make_unique<System>();
+        sys_ = ownSystem_.get();
+        sys_->setMode(config_.kernel);
+
+        // Memory side: DRAM (Table I) or the ideal pipe (Fig 17).
+        if (config_.memModel == MemModel::Ddr3) {
+            auto dram = std::make_unique<mem::Dram>("dram",
+                                                    config_.dram, mem_);
+            dramPtr_ = dram.get();
+            memory_ = std::move(dram);
+        } else {
+            memory_ = std::make_unique<mem::IdealMem>(
+                "idealmem", config_.ideal, mem_);
+        }
+        memPtr_ = memory_.get();
+        bus_ = std::make_unique<mem::Interconnect>("bus", config_.bus,
+                                                   *memory_);
+        busPtr_ = bus_.get();
     }
-    bus_ = std::make_unique<mem::Interconnect>("bus", config_.bus,
-                                               *memory_);
 
     // Port plumbing. In the shared design every traversal component
     // (and the PTW) competes for one 16 KiB cache (Fig 18a); in the
     // partitioned design the PTW keeps a private 8 KiB cache and the
     // others talk to the interconnect directly (Fig 18b).
     auto make_bus_port = [this](const std::string &label) {
-        busPorts_.push_back(
-            std::make_unique<mem::BusPort>(*bus_, nullptr, label));
+        busPorts_.push_back(std::make_unique<mem::BusPort>(
+            *busPtr_, nullptr, namePrefix_ + label));
         return busPorts_.back().get();
     };
 
     mem::MemPort *ptw_port = nullptr;
     if (config_.sharedCache) {
         sharedCache_ = std::make_unique<mem::TimedCache>(
-            "unitcache", config_.sharedCacheParams, mem_, *bus_);
+            namePrefix_ + "unitcache", config_.sharedCacheParams, mem_,
+            *busPtr_);
         markerPort_ = sharedCache_->addPort(nullptr, "marker");
         tracerPort_ = sharedCache_->addPort(nullptr, "tracer");
         spillPort_ = sharedCache_->addPort(nullptr, "markQueue");
@@ -57,7 +90,8 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
         ptw_port = sharedCache_->addPort(nullptr, "ptw");
     } else {
         ptwCache_ = std::make_unique<mem::TimedCache>(
-            "ptwcache", config_.ptwCacheParams, mem_, *bus_);
+            namePrefix_ + "ptwcache", config_.ptwCacheParams, mem_,
+            *busPtr_);
         markerPort_ = make_bus_port("marker");
         tracerPort_ = make_bus_port("tracer");
         spillPort_ = make_bus_port("markQueue");
@@ -70,29 +104,33 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
             make_bus_port("sweeper" + std::to_string(i)));
     }
 
-    ptw_ = std::make_unique<mem::Ptw>("ptw", config_.ptw, pageTable_,
-                                      ptw_port);
+    ptw_ = std::make_unique<mem::Ptw>(namePrefix_ + "ptw", config_.ptw,
+                                      pageTable_, ptw_port);
 
     // Traversal unit.
     markQueue_ = std::make_unique<MarkQueue>(
-        "markQueue", config_, spillPort_, runtime::HeapLayout::spillBase,
-        runtime::HeapLayout::spillSize);
+        namePrefix_ + "markQueue", config_, spillPort_,
+        runtime::HeapLayout::spillBase, runtime::HeapLayout::spillSize);
     traceQueue_ =
         std::make_unique<TraceQueue>(config_.tracerQueueEntries);
-    marker_ = std::make_unique<Marker>("marker", config_, *markQueue_,
-                                       *traceQueue_, markerPort_, *ptw_);
-    tracer_ = std::make_unique<Tracer>("tracer", config_, *traceQueue_,
-                                       *markQueue_, tracerPort_, *ptw_);
+    marker_ = std::make_unique<Marker>(namePrefix_ + "marker", config_,
+                                       *markQueue_, *traceQueue_,
+                                       markerPort_, *ptw_);
+    tracer_ = std::make_unique<Tracer>(namePrefix_ + "tracer", config_,
+                                       *traceQueue_, *markQueue_,
+                                       tracerPort_, *ptw_);
     tracer_->setMarker(marker_.get());
     rootReader_ = std::make_unique<RootReader>(
-        "rootReader", config_, *markQueue_, readerPort_, *ptw_);
+        namePrefix_ + "rootReader", config_, *markQueue_, readerPort_,
+        *ptw_);
     reclamation_ = std::make_unique<ReclamationUnit>(
-        "reclamation", config_, blockReaderPort_, sweeperPorts_, *ptw_);
+        namePrefix_ + "reclamation", config_, blockReaderPort_,
+        sweeperPorts_, *ptw_);
 
     // Wire responders now that the units exist.
     auto wire = [this](mem::MemPort *port, mem::MemResponder *responder) {
         if (auto *bp = dynamic_cast<mem::BusPort *>(port)) {
-            bus_->setClientResponder(bp->clientId(), responder);
+            busPtr_->setClientResponder(bp->clientId(), responder);
         } else if (sharedCache_) {
             sharedCache_->setPortResponder(port, responder);
         } else {
@@ -115,24 +153,32 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
 
     // Clock everything. Evaluation order: consumers before producers
     // is not required (queues decouple), but memory devices last so
-    // same-cycle requests are seen next cycle.
-    system_.add(rootReader_.get());
-    system_.add(marker_.get());
-    system_.add(tracer_.get());
-    system_.add(markQueue_.get());
-    system_.add(reclamation_.get());
+    // same-cycle requests are seen next cycle. A fleet device only
+    // registers its unit components; the fleet driver adds the shared
+    // bus and memory once, after the last device.
+    auto addc = [this](Clocked *c) {
+        sys_->add(c);
+        ownComponents_.push_back(c);
+    };
+    addc(rootReader_.get());
+    addc(marker_.get());
+    addc(tracer_.get());
+    addc(markQueue_.get());
+    addc(reclamation_.get());
     for (auto &sweeper : reclamation_->sweepers()) {
-        system_.add(sweeper.get());
+        addc(sweeper.get());
     }
-    system_.add(ptw_.get());
+    addc(ptw_.get());
     if (sharedCache_) {
-        system_.add(sharedCache_.get());
+        addc(sharedCache_.get());
     }
     if (ptwCache_) {
-        system_.add(ptwCache_.get());
+        addc(ptwCache_.get());
     }
-    system_.add(bus_.get());
-    system_.add(memory_.get());
+    if (!external_) {
+        sys_->add(bus_.get());
+        sys_->add(memory_.get());
+    }
 
     // Wakeup-caching contract (event kernel): every component above
     // pokes itself from its external entry points (sendRequest,
@@ -154,18 +200,22 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
     //  - the bus polls memory.canAccept.
     // markQueue, ptw, the caches and memory read only their own
     // state, so their entry-point pokes alone keep them fresh.
-    system_.declareWakeupInputs(marker_.get(),
-                                {markQueue_.get(), ptw_.get()});
-    system_.declareWakeupInputs(
+    sys_->declareWakeupInputs(marker_.get(),
+                              {markQueue_.get(), ptw_.get()});
+    sys_->declareWakeupInputs(
         tracer_.get(), {marker_.get(), markQueue_.get(), ptw_.get()});
     if (!config_.decoupledTracer) {
         // Coupled-pipeline ablation: the tracer also polls the
         // marker's in-flight reads, which drop inside the bus/cache
-        // tick that delivers the marker's response.
-        system_.declareWakeupInputs(
-            tracer_.get(), {static_cast<Clocked *>(bus_.get())});
+        // tick that delivers the marker's response. A fleet device
+        // defers the bus edge to declareSharedBusEdges() — the shared
+        // bus is registered after the devices.
+        if (!external_) {
+            sys_->declareWakeupInputs(
+                tracer_.get(), {static_cast<Clocked *>(busPtr_)});
+        }
         if (config_.sharedCache) {
-            system_.declareWakeupInputs(
+            sys_->declareWakeupInputs(
                 tracer_.get(),
                 {static_cast<Clocked *>(sharedCache_.get())});
         }
@@ -174,28 +224,30 @@ HwgcDevice::HwgcDevice(mem::PhysMem &mem,
     if (config_.sharedCache) {
         sharedCache_->setPortOwner(markerPort_, marker_.get());
     } else {
-        bus_->setClientOwner(
+        busPtr_->setClientOwner(
             static_cast<mem::BusPort *>(markerPort_)->clientId(),
             marker_.get());
     }
-    system_.declareWakeupInputs(rootReader_.get(), {ptw_.get()});
-    system_.declareWakeupInputs(reclamation_.get(), {ptw_.get()});
+    sys_->declareWakeupInputs(rootReader_.get(), {ptw_.get()});
+    sys_->declareWakeupInputs(reclamation_.get(), {ptw_.get()});
     for (auto &sweeper : reclamation_->sweepers()) {
-        system_.declareWakeupInputs(sweeper.get(), {ptw_.get()});
-        system_.declareWakeupInputs(reclamation_.get(), {sweeper.get()});
+        sys_->declareWakeupInputs(sweeper.get(), {ptw_.get()});
+        sys_->declareWakeupInputs(reclamation_.get(), {sweeper.get()});
     }
-    system_.declareWakeupInputs(markQueue_.get(), {});
-    system_.declareWakeupInputs(ptw_.get(), {});
+    sys_->declareWakeupInputs(markQueue_.get(), {});
+    sys_->declareWakeupInputs(ptw_.get(), {});
     if (sharedCache_) {
-        system_.declareWakeupInputs(sharedCache_.get(), {});
+        sys_->declareWakeupInputs(sharedCache_.get(), {});
     }
     if (ptwCache_) {
-        system_.declareWakeupInputs(ptwCache_.get(), {});
+        sys_->declareWakeupInputs(ptwCache_.get(), {});
     }
-    system_.declareWakeupInputs(bus_.get(), {memory_.get()});
-    system_.declareWakeupInputs(memory_.get(), {});
+    if (!external_) {
+        sys_->declareWakeupInputs(bus_.get(), {memory_.get()});
+        sys_->declareWakeupInputs(memory_.get(), {});
+    }
 
-    if (config_.kernel == KernelMode::ParallelBsp) {
+    if (sys_->mode() == KernelMode::ParallelBsp) {
         configurePartitions();
     }
 
@@ -235,6 +287,17 @@ HwgcDevice::installWalkResolver()
 }
 
 void
+HwgcDevice::declareSharedBusEdges()
+{
+    panic_if(!external_,
+             "declareSharedBusEdges is for fleet devices only");
+    if (!config_.decoupledTracer) {
+        sys_->declareWakeupInputs(
+            tracer_.get(), {static_cast<Clocked *>(busPtr_)});
+    }
+}
+
+void
 HwgcDevice::configurePartitions()
 {
     // Affinity heuristic (DESIGN.md §8): the traversal/reclamation
@@ -243,8 +306,20 @@ HwgcDevice::configurePartitions()
     // share partition 0; the bus and the memory device each get their
     // own — every interaction crossing those two boundaries is
     // latched by at least one cycle of request/response latency.
-    system_.setPartition(bus_.get(), 1);
-    system_.setPartition(memory_.get(), 2);
+    //
+    // A fleet device's units share one fleet-assigned partition;
+    // device-to-device interaction only happens through the shared
+    // bus, so each device can evaluate on its own worker. The fleet
+    // driver partitions the shared bus/memory and owns the host
+    // thread-count and --host-partition overrides.
+    if (external_) {
+        for (Clocked *c : ownComponents_) {
+            sys_->setPartition(c, unitPartition_);
+        }
+        return;
+    }
+    sys_->setPartition(bus_.get(), 1);
+    sys_->setPartition(memory_.get(), 2);
 
     std::string spec = config_.hostPartition;
     if (spec.empty()) {
@@ -282,7 +357,7 @@ HwgcDevice::configurePartitions()
                  item.c_str());
         const unsigned part = unsigned(part_val);
         Clocked *target = nullptr;
-        for (Clocked *c : system_.components()) {
+        for (Clocked *c : sys_->components()) {
             if (c->name() == name) {
                 target = c;
                 break;
@@ -291,20 +366,20 @@ HwgcDevice::configurePartitions()
         panic_if(target == nullptr,
                  "--host-partition: unknown component '%s'",
                  name.c_str());
-        system_.setPartition(target, part);
+        sys_->setPartition(target, part);
     }
 
     // Cohesion: only the bus and the memory device may leave the
     // traversal partition — everything else exchanges same-cycle
     // state (queue handoffs, walk callbacks, cache lookups) that the
     // BSP evaluate phase cannot split across threads.
-    const unsigned unitPart = system_.partitionOf(*rootReader_);
-    for (const Clocked *c : system_.components()) {
+    const unsigned unitPart = sys_->partitionOf(*rootReader_);
+    for (const Clocked *c : sys_->components()) {
         if (c == static_cast<const Clocked *>(bus_.get()) ||
             c == static_cast<const Clocked *>(memory_.get())) {
             continue;
         }
-        panic_if(system_.partitionOf(*c) != unitPart,
+        panic_if(sys_->partitionOf(*c) != unitPart,
                  "--host-partition: '%s' cannot leave the traversal "
                  "partition (same-cycle coupled)", c->name().c_str());
     }
@@ -319,14 +394,19 @@ HwgcDevice::configurePartitions()
                 env, "HWGC_HOST_THREADS", 0);
         }
     }
-    system_.setHostThreads(threads);
+    sys_->setHostThreads(threads);
 }
 
 void
 HwgcDevice::registerTelemetry()
 {
     auto &registry = telemetry::StatsRegistry::global();
-    statsPrefix_ = registry.uniquePrefix("system.hwgc");
+    // Fleet devices register under the driver-assigned prefix (stable
+    // "system.hwgcN" numbering across checkpoint/restore); owned-SoC
+    // devices keep the classic first-free uniquification.
+    statsPrefix_ = statsPrefix_.empty()
+        ? registry.uniquePrefix("system.hwgc")
+        : statsPrefix_;
     auto addGroup = [&](const std::string &sub) -> stats::Group & {
         statGroups_.push_back(std::make_unique<stats::Group>(sub));
         statPaths_.push_back(registry.add(statsPrefix_ + "." + sub,
@@ -347,8 +427,12 @@ HwgcDevice::registerTelemetry()
     }
     ptw_->addStats(addGroup("ptw"));
     ptw_->l2Tlb().addStats(addGroup("ptw.l2tlb"));
-    bus_->addStats(addGroup("bus"));
-    memory_->addStats(addGroup("memory"));
+    if (!external_) {
+        // Shared bus/memory stats belong to the fleet driver, not to
+        // any one device.
+        bus_->addStats(addGroup("bus"));
+        memory_->addStats(addGroup("memory"));
+    }
     if (sharedCache_) {
         sharedCache_->addStats(addGroup("unitcache"));
     }
@@ -358,11 +442,16 @@ HwgcDevice::registerTelemetry()
 
     // Attach kernel observers only when a telemetry sink is on, so
     // the default cost is one null-pointer compare per executed cycle.
+    // A shared System holds one observer; in fleet mode the driver
+    // owns it (the devices only contribute stats groups).
+    if (external_) {
+        return;
+    }
     const telemetry::Options &opts = telemetry::options();
     if (telemetry::TraceWriter::global().enabled() ||
         opts.statsInterval != 0) {
         std::vector<std::string> names;
-        for (const Clocked *c : system_.components()) {
+        for (const Clocked *c : sys_->components()) {
             names.push_back(c->name());
         }
         sysTracer_ = std::make_unique<telemetry::SystemTracer>(
@@ -398,24 +487,24 @@ HwgcDevice::registerTelemetry()
     // the profiler observes first and forwards to the tracer.
     if (opts.profile) {
         profiler_ = std::make_unique<telemetry::CycleProfiler>(
-            system_, statsPrefix_);
+            *sys_, statsPrefix_);
         profiler_->setChain(sysTracer_.get());
-        system_.setObserver(profiler_.get());
+        sys_->setObserver(profiler_.get());
     } else if (sysTracer_) {
-        system_.setObserver(sysTracer_.get());
+        sys_->setObserver(sysTracer_.get());
     }
 }
 
 HwgcDevice::~HwgcDevice()
 {
-    if (crashHookInstalled_) {
-        setCrashHook(nullptr, nullptr);
+    if (crashHookId_ != 0) {
+        removeCrashHook(crashHookId_);
     }
     if (sysTracer_) {
-        sysTracer_->flush(system_.now());
+        sysTracer_->flush(sys_->now());
     }
     if (sysTracer_ || profiler_) {
-        system_.setObserver(nullptr);
+        sys_->setObserver(nullptr);
     }
     auto &registry = telemetry::StatsRegistry::global();
     for (const std::string &path : statPaths_) {
@@ -431,8 +520,20 @@ HwgcDevice::configure(const runtime::Heap &heap)
     regs_.rootCount = heap.publishedRootCount();
     regs_.blockTableBase = heap.blockTableBase();
     regs_.blockCount = heap.blocks().size();
-    regs_.spillBase = runtime::HeapLayout::spillBase;
-    regs_.spillBytes = runtime::HeapLayout::spillSize;
+    regs_.spillBase = heap.spillBase();
+    regs_.spillBytes = heap.spillBytes();
+
+    // Retarget the translation and spill plumbing at this heap — the
+    // driver-level half of the §VII context switch. For the classic
+    // one-device/one-heap setup these re-program the same values.
+    ptw_->setPageTable(heap.pageTable());
+    markQueue_->setSpillRegion(regs_.spillBase, regs_.spillBytes);
+
+    if (external_) {
+        // Checkpoint arming and the watchdog act on the whole shared
+        // SoC; the fleet driver owns both.
+        return;
+    }
 
     // Driver-level checkpoint wiring (--checkpoint-* / HWGC_CHECKPOINT_*).
     const telemetry::Options &opts = telemetry::options();
@@ -449,15 +550,15 @@ HwgcDevice::configure(const runtime::Heap &heap)
     // the "<path>.crash.<pid>" post-mortem path is shared with real
     // panics.
     if (opts.watchdogSecs > 0.0) {
-        system_.setWatchdog(opts.watchdogSecs,
-                            [this] { writeWatchdogReport(); });
+        sys_->setWatchdog(opts.watchdogSecs,
+                          [this] { writeWatchdogReport(); });
     }
 }
 
 Tick
 HwgcDevice::runUntil(const char *phase)
 {
-    const Tick start = system_.now();
+    const Tick start = sys_->now();
     for (;;) {
         // An armed --checkpoint-at= pauses the kernel at that exact
         // inter-cycle boundary, mid-phase; the split run is
@@ -468,55 +569,75 @@ HwgcDevice::runUntil(const char *phase)
             !checkpointAtDone_) {
             stop = checkpointAt_;
         }
-        const System::StopReason reason = system_.runUntilIdleStop(stop);
+        const System::StopReason reason = sys_->runUntilIdleStop(stop);
         if (reason == System::StopReason::Stopped) {
             checkpointAtDone_ = true;
             if (writeCheckpoint(checkpointOut_)) {
                 inform("checkpoint: wrote '%s' at cycle %llu",
                        checkpointOut_.c_str(),
-                       (unsigned long long)system_.now());
+                       (unsigned long long)sys_->now());
             }
             continue;
         }
         panic_if(reason == System::StopReason::Budget,
                  "%s phase deadlocked (cycle budget exhausted)", phase);
-        return system_.now() - start;
+        return sys_->now() - start;
     }
 }
 
-HwPhaseResult
-HwgcDevice::runMark()
+void
+HwgcDevice::startMark()
 {
     panic_if(regs_.rootCount == 0 && regs_.hwgcSpaceBase == 0,
              "device not configured");
     // A restored mid-mark checkpoint left the status register at
     // Marking with the units already in flight: resume, don't restart.
+    if (regs_.status == MmioRegs::Marking) {
+        return;
+    }
+    regs_.status = MmioRegs::Marking;
+    rootReader_->start(regs_.hwgcSpaceBase, regs_.rootCount);
+}
+
+bool
+HwgcDevice::markDone() const
+{
+    return markQueue_->empty() && marker_->idle() && tracer_->idle() &&
+        rootReader_->done();
+}
+
+HwPhaseResult
+HwgcDevice::finishMark()
+{
+    panic_if(!markDone(), "mark phase ended with residual work");
+    HwPhaseResult result;
+    result.objectsMarked = marker_->newlyMarked();
+    result.refsTraced = tracer_->refsEnqueued();
+    regs_.status = MmioRegs::Idle;
+    return result;
+}
+
+HwPhaseResult
+HwgcDevice::runMark()
+{
     const bool resuming = regs_.status == MmioRegs::Marking;
-    const Tick start = system_.now();
+    const Tick start = sys_->now();
     DPRINTF(start, "Device", "%s: mark phase %s, %llu roots",
             statsPrefix_.c_str(), resuming ? "resume" : "start",
             (unsigned long long)regs_.rootCount);
-    if (!resuming) {
-        regs_.status = MmioRegs::Marking;
-        rootReader_->start(regs_.hwgcSpaceBase, regs_.rootCount);
-    }
+    startMark();
     if (profiler_) {
         profiler_->beginPhase("mark");
     }
 
-    HwPhaseResult result;
-    result.cycles = runUntil("mark");
+    const Tick cycles = runUntil("mark");
     if (profiler_) {
         profiler_->endPhase();
     }
-    panic_if(!markQueue_->empty() || !marker_->idle() ||
-             !tracer_->idle() || !rootReader_->done(),
-             "mark phase ended with residual work");
-    result.objectsMarked = marker_->newlyMarked();
-    result.refsTraced = tracer_->refsEnqueued();
-    regs_.status = MmioRegs::Idle;
+    HwPhaseResult result = finishMark();
+    result.cycles = cycles;
 
-    const Tick end = system_.now();
+    const Tick end = sys_->now();
     DPRINTF(end, "Device", "%s: mark phase done, %llu marked",
             statsPrefix_.c_str(),
             (unsigned long long)result.objectsMarked);
@@ -534,33 +655,53 @@ HwgcDevice::runMark()
     return result;
 }
 
+void
+HwgcDevice::startSweep()
+{
+    if (regs_.status == MmioRegs::Sweeping) {
+        return; // Restored mid-sweep: resume, don't restart.
+    }
+    regs_.status = MmioRegs::Sweeping;
+    reclamation_->start(regs_.blockTableBase, regs_.blockCount);
+}
+
+bool
+HwgcDevice::sweepDone() const
+{
+    return reclamation_->done();
+}
+
+HwPhaseResult
+HwgcDevice::finishSweep()
+{
+    panic_if(!sweepDone(), "sweep phase ended with residual work");
+    HwPhaseResult result;
+    result.cellsFreed = reclamation_->cellsFreed();
+    regs_.status = MmioRegs::Idle;
+    return result;
+}
+
 HwPhaseResult
 HwgcDevice::runSweep()
 {
     const bool resuming = regs_.status == MmioRegs::Sweeping;
-    const Tick start = system_.now();
+    const Tick start = sys_->now();
     DPRINTF(start, "Device", "%s: sweep phase %s, %llu blocks",
             statsPrefix_.c_str(), resuming ? "resume" : "start",
             (unsigned long long)regs_.blockCount);
-    if (!resuming) {
-        regs_.status = MmioRegs::Sweeping;
-        reclamation_->start(regs_.blockTableBase, regs_.blockCount);
-    }
+    startSweep();
     if (profiler_) {
         profiler_->beginPhase("sweep");
     }
 
-    HwPhaseResult result;
-    result.cycles = runUntil("sweep");
+    const Tick cycles = runUntil("sweep");
     if (profiler_) {
         profiler_->endPhase();
     }
-    panic_if(!reclamation_->done(),
-             "sweep phase ended with residual work");
-    result.cellsFreed = reclamation_->cellsFreed();
-    regs_.status = MmioRegs::Idle;
+    HwPhaseResult result = finishSweep();
+    result.cycles = cycles;
 
-    const Tick end = system_.now();
+    const Tick end = sys_->now();
     DPRINTF(end, "Device", "%s: sweep phase done, %llu freed",
             statsPrefix_.c_str(),
             (unsigned long long)result.cellsFreed);
@@ -594,7 +735,11 @@ HwgcDevice::resetPhaseState()
     rootReader_->reset();
     reclamation_->reset();
     ptw_->l2Tlb().flush();
-    memory_->resetTimingState();
+    // A shared (fleet) memory backend stays warm: peer devices may be
+    // mid-phase, and the context switch only flushes unit state.
+    if (!external_) {
+        memory_->resetTimingState();
+    }
 }
 
 void
@@ -606,8 +751,10 @@ HwgcDevice::resetStats()
     traceQueue_->resetStats();
     reclamation_->resetStats();
     ptw_->resetStats();
-    bus_->resetStats();
-    memory_->resetStats();
+    if (!external_) {
+        bus_->resetStats();
+        memory_->resetStats();
+    }
     if (sharedCache_) {
         sharedCache_->resetStats();
     }
@@ -640,6 +787,8 @@ HwgcDevice::configSignature() const
 void
 HwgcDevice::saveCheckpoint(checkpoint::Serializer &ser) const
 {
+    panic_if(external_,
+             "fleet device state is checkpointed by the fleet driver");
     // The configuration fingerprint goes first so a mismatched file
     // fails with "configurations differ" before any state parsing.
     ser.beginChunk("config");
@@ -658,12 +807,12 @@ HwgcDevice::saveCheckpoint(checkpoint::Serializer &ser) const
     ser.endChunk();
 
     ser.beginChunk("kernel");
-    system_.save(ser);
+    sys_->save(ser);
     ser.endChunk();
 
     // One chunk per Clocked component, named by instance name, in
     // registration (= evaluation) order.
-    for (const Clocked *c : system_.components()) {
+    for (const Clocked *c : sys_->components()) {
         ser.beginChunk(c->name());
         c->save(ser);
         ser.endChunk();
@@ -683,6 +832,8 @@ HwgcDevice::saveCheckpoint(checkpoint::Serializer &ser) const
 void
 HwgcDevice::restoreCheckpoint(checkpoint::Deserializer &des)
 {
+    panic_if(external_,
+             "fleet device state is restored by the fleet driver");
     des.beginChunk("config");
     const std::string sig = des.getString();
     des.endChunk();
@@ -704,10 +855,10 @@ HwgcDevice::restoreCheckpoint(checkpoint::Deserializer &des)
     des.endChunk();
 
     des.beginChunk("kernel");
-    system_.restore(des);
+    sys_->restore(des);
     des.endChunk();
 
-    for (Clocked *c : system_.components()) {
+    for (Clocked *c : sys_->components()) {
         des.beginChunk(c->name());
         c->restore(des);
         des.endChunk();
@@ -726,10 +877,10 @@ HwgcDevice::restoreCheckpoint(checkpoint::Deserializer &des)
              "chunk — the saving and restoring configurations differ",
              des.origin().c_str());
 
-    DPRINTF(system_.now(), "Device",
+    DPRINTF(sys_->now(), "Device",
             "%s: restored checkpoint '%s' at cycle %llu (status %llu)",
             statsPrefix_.c_str(), des.origin().c_str(),
-            (unsigned long long)system_.now(),
+            (unsigned long long)sys_->now(),
             (unsigned long long)regs_.status);
 }
 
@@ -755,14 +906,18 @@ HwgcDevice::armCheckpoint(const std::string &path, Tick at)
     checkpointAt_ = at;
     checkpointAtDone_ = false;
     if (checkpointOut_.empty()) {
-        if (crashHookInstalled_) {
-            setCrashHook(nullptr, nullptr);
-            crashHookInstalled_ = false;
+        if (crashHookId_ != 0) {
+            removeCrashHook(crashHookId_);
+            crashHookId_ = 0;
         }
         return;
     }
-    setCrashHook(&HwgcDevice::crashHook, this);
-    crashHookInstalled_ = true;
+    // One registry slot per armed device: a fleet arms several
+    // sessions and a panic must dump every one of them, not just the
+    // most recently armed (the old single-slot hook's failure mode).
+    if (crashHookId_ == 0) {
+        crashHookId_ = addCrashHook(&HwgcDevice::crashHook, this);
+    }
 }
 
 void
@@ -796,7 +951,7 @@ HwgcDevice::writeCrashDump()
     telemetry::RunMetadata meta;
     meta.binary = "crash-dump";
     meta.config = configSignature();
-    meta.simCycles = system_.now();
+    meta.simCycles = sys_->now();
     telemetry::StatsRegistry::global().exportJsonFile(
         base + ".stats.json", meta);
     inform("crash dump: wrote '%s.stats.json'", base.c_str());
@@ -816,14 +971,14 @@ HwgcDevice::writeWatchdogReport()
                  "watchdog: %s made no progress (cycle %llu); live "
                  "state follows\n",
                  statsPrefix_.c_str(),
-                 (unsigned long long)system_.now());
+                 (unsigned long long)sys_->now());
     if (profiler_) {
         profiler_->report(stderr);
     }
     telemetry::RunMetadata meta;
     meta.binary = "watchdog-dump";
     meta.config = configSignature();
-    meta.simCycles = system_.now();
+    meta.simCycles = sys_->now();
     std::ostringstream os;
     telemetry::StatsRegistry::global().exportJson(os, meta);
     std::fputs(os.str().c_str(), stderr);

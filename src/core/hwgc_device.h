@@ -32,6 +32,26 @@
 namespace hwgc::core
 {
 
+/**
+ * Shared-SoC context for fleet assembly (DESIGN.md §12): when a
+ * device is instantiated into a fleet it joins an externally owned
+ * System and shares one Interconnect + memory device with its peer
+ * devices instead of building a private memory side. The fleet
+ * driver owns kernel mode, partitions for the shared components,
+ * telemetry for the shared bus/memory, checkpoint arming and the
+ * watchdog; the device only contributes its unit components.
+ */
+struct SocContext
+{
+    System *system = nullptr;         //!< Shared kernel/clock.
+    mem::Interconnect *bus = nullptr; //!< Shared interconnect.
+    mem::MemDevice *memory = nullptr; //!< Shared DRAM / ideal pipe.
+    mem::Dram *dram = nullptr;        //!< Non-null when DRAM-backed.
+    std::string namePrefix;           //!< Component prefix, "hwgc0.".
+    std::string statsPrefix;          //!< Stats prefix, "system.hwgc0".
+    unsigned unitPartition = 0;       //!< BSP partition for the units.
+};
+
 /** The device's memory-mapped register file (driver interface). */
 struct MmioRegs
 {
@@ -68,6 +88,15 @@ class HwgcDevice
     HwgcDevice(mem::PhysMem &mem, const mem::PageTable &page_table,
                const HwgcConfig &config);
 
+    /**
+     * Fleet-mode constructor: the device registers its units into
+     * @p soc's shared System and sends memory traffic through the
+     * shared bus. configure() can retarget it at any tenant heap in
+     * the shared PhysMem (time-multiplexing, §VII).
+     */
+    HwgcDevice(mem::PhysMem &mem, const mem::PageTable &page_table,
+               const HwgcConfig &config, const SocContext &soc);
+
     ~HwgcDevice();
 
     /** Driver helper: programs the registers from the heap's state. */
@@ -84,6 +113,43 @@ class HwgcDevice
 
     /** Runs mark then sweep. */
     HwPhaseResult collect();
+
+    /**
+     * @name Split phase control (fleet mode)
+     *
+     * runMark()/runSweep() drive the device's own System until the
+     * phase drains. A fleet interleaves many devices on one shared
+     * System, so the driver launches a phase, steps the shared clock
+     * itself, polls the done predicate at scheduling boundaries, and
+     * then collects the result. startMark()/startSweep() are no-ops
+     * when the phase is already in flight (checkpoint resume).
+     * @{
+     */
+    void startMark();
+    bool markDone() const;
+    HwPhaseResult finishMark();
+    void startSweep();
+    bool sweepDone() const;
+    HwPhaseResult finishSweep();
+    /** @} */
+
+    /**
+     * Fleet wiring hook: declares the deferred wakeup edges against
+     * the shared bus (they need the bus registered in the shared
+     * System, which happens after device construction). Called once
+     * per device by the fleet driver; owned-SoC devices declare the
+     * same edges in their constructor.
+     */
+    void declareSharedBusEdges();
+
+    /** True when this device joined an external (fleet) SoC. */
+    bool external() const { return external_; }
+
+    /** The unit components this device registered into the System. */
+    const std::vector<Clocked *> &ownComponents() const
+    {
+        return ownComponents_;
+    }
 
     /**
      * Flushes all unit-internal state (TLBs, caches, filters) —
@@ -143,15 +209,23 @@ class HwgcDevice
     TraceQueue &traceQueue() { return *traceQueue_; }
     RootReader &rootReader() { return *rootReader_; }
     ReclamationUnit &reclamation() { return *reclamation_; }
-    mem::Interconnect &bus() { return *bus_; }
-    mem::MemDevice &memory() { return *memory_; }
+    mem::Interconnect &bus() { return *busPtr_; }
+    mem::MemDevice &memory() { return *memPtr_; }
     mem::Ptw &ptw() { return *ptw_; }
     mem::Dram *dram() { return dramPtr_; }
     mem::TimedCache *sharedCache() { return sharedCache_.get(); }
     mem::TimedCache *ptwCache() { return ptwCache_.get(); }
     const HwgcConfig &config() const { return config_; }
-    System &system() { return system_; }
+    System &system() { return *sys_; }
     /** @} */
+
+    /**
+     * Architectural configuration fingerprint embedded in every
+     * checkpoint. Deliberately excludes the kernel mode and host
+     * threading/partition knobs: those change host execution only, so
+     * a checkpoint saved under one kernel restores under any other.
+     */
+    std::string configSignature() const;
 
     /**
      * The dotted path this device's stats groups registered under in
@@ -173,13 +247,9 @@ class HwgcDevice
      *  --checkpoint-at= boundary to write the checkpoint. */
     Tick runUntil(const char *phase);
 
-    /**
-     * Architectural configuration fingerprint embedded in every
-     * checkpoint. Deliberately excludes the kernel mode and host
-     * threading/partition knobs: those change host execution only, so
-     * a checkpoint saved under one kernel restores under any other.
-     */
-    std::string configSignature() const;
+    /** Shared assembly path behind both public constructors. */
+    HwgcDevice(mem::PhysMem &mem, const mem::PageTable &page_table,
+               const HwgcConfig &config, const SocContext *soc);
 
     /** Installs the PTW's (owner, token) -> walk-callback factory. */
     void installWalkResolver();
@@ -199,10 +269,19 @@ class HwgcDevice
     const mem::PageTable &pageTable_;
     MmioRegs regs_;
 
-    System system_;
+    /** @name SoC plumbing: owned (classic) or shared (fleet) @{ */
+    bool external_ = false;
+    std::string namePrefix_;     //!< Prepended to component names.
+    unsigned unitPartition_ = 0; //!< BSP partition for the units.
+    std::unique_ptr<System> ownSystem_;
+    System *sys_ = nullptr;
     std::unique_ptr<mem::MemDevice> memory_;
+    mem::MemDevice *memPtr_ = nullptr;
     mem::Dram *dramPtr_ = nullptr;
     std::unique_ptr<mem::Interconnect> bus_;
+    mem::Interconnect *busPtr_ = nullptr;
+    std::vector<Clocked *> ownComponents_;
+    /** @} */
     std::unique_ptr<mem::TimedCache> sharedCache_; //!< Fig 18a mode.
     std::unique_ptr<mem::TimedCache> ptwCache_;    //!< Partitioned.
     std::unique_ptr<mem::Ptw> ptw_;
@@ -240,7 +319,7 @@ class HwgcDevice
     std::string checkpointOut_;
     Tick checkpointAt_ = 0;
     bool checkpointAtDone_ = false;
-    bool crashHookInstalled_ = false;
+    unsigned crashHookId_ = 0; //!< addCrashHook() id (0 = not armed).
     /** @} */
 };
 

@@ -88,6 +88,20 @@ class MarkQueue : public Clocked, public mem::MemResponder
     /** Drops all state between GC phases. */
     void reset();
 
+    /**
+     * Retargets the spill region (fleet time-multiplexing across
+     * tenant heaps). Only legal while the queue is empty with no
+     * spill traffic in flight — part of the §VII context switch.
+     */
+    void
+    setSpillRegion(Addr spill_base, std::uint64_t spill_bytes)
+    {
+        panic_if(!empty() || writeInFlight_ || readInFlight_,
+                 "mark queue retargeted while non-empty");
+        spillBase_ = spill_base;
+        spillCapacityEntries_ = spill_bytes / entryBytes();
+    }
+
     void resetStats();
 
     /** @name Statistics @{ */

@@ -31,8 +31,7 @@ ConcurrentMarkLab::logBarrier(ObjRef ref)
     }
     fatal_if((regionCount_ + 1) * wordBytes > HeapLayout::hwgcSpaceSize,
              "barrier log overflowed hwgc-space");
-    heap_.write(HeapLayout::hwgcSpaceBase + regionCount_ * wordBytes,
-                ref);
+    heap_.write(heap_.hwgcSpaceBase() + regionCount_ * wordBytes, ref);
     ++regionCount_;
     ++barrierEntries_;
     device_.rootReader().extend(regionCount_);
@@ -119,7 +118,7 @@ ConcurrentMarkLab::run()
 
     device_.configure(heap_);
     device_.regs().rootCount = regionCount_;
-    device_.rootReader().start(HeapLayout::hwgcSpaceBase, regionCount_);
+    device_.rootReader().start(heap_.hwgcSpaceBase(), regionCount_);
 
     auto &system = device_.system();
     const Tick start = system.now();

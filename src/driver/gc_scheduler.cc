@@ -1,0 +1,134 @@
+/**
+ * @file
+ * GC scheduling policy implementations.
+ */
+
+#include "gc_scheduler.h"
+
+#include "sim/logging.h"
+
+namespace hwgc::driver
+{
+
+namespace
+{
+
+class FifoScheduler : public GcScheduler
+{
+  public:
+    std::size_t
+    pick(const std::vector<GcRequest> &pending, Tick) const override
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < pending.size(); ++i) {
+            if (pending[i].triggerAt < pending[best].triggerAt ||
+                (pending[i].triggerAt == pending[best].triggerAt &&
+                 pending[i].tenant < pending[best].tenant)) {
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    GcPolicy policy() const override { return GcPolicy::Fifo; }
+    const char *name() const override { return "fifo"; }
+};
+
+/** EDF pick, shared by Deadline and ConcurrentOverlap. */
+std::size_t
+pickEarliestDeadline(const std::vector<GcRequest> &pending)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+        const GcRequest &a = pending[i];
+        const GcRequest &b = pending[best];
+        if (a.deadline < b.deadline ||
+            (a.deadline == b.deadline &&
+             (a.triggerAt < b.triggerAt ||
+              (a.triggerAt == b.triggerAt && a.tenant < b.tenant)))) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+class DeadlineScheduler : public GcScheduler
+{
+  public:
+    std::size_t
+    pick(const std::vector<GcRequest> &pending, Tick) const override
+    {
+        return pickEarliestDeadline(pending);
+    }
+
+    GcPolicy policy() const override { return GcPolicy::Deadline; }
+    const char *name() const override { return "deadline"; }
+};
+
+class OverlapScheduler : public GcScheduler
+{
+  public:
+    std::size_t
+    pick(const std::vector<GcRequest> &pending, Tick) const override
+    {
+        return pickEarliestDeadline(pending);
+    }
+
+    bool concurrentMark() const override { return true; }
+
+    GcPolicy
+    policy() const override
+    {
+        return GcPolicy::ConcurrentOverlap;
+    }
+
+    const char *name() const override { return "overlap"; }
+};
+
+} // namespace
+
+std::unique_ptr<GcScheduler>
+makeScheduler(GcPolicy policy)
+{
+    switch (policy) {
+      case GcPolicy::Fifo:
+        return std::make_unique<FifoScheduler>();
+      case GcPolicy::Deadline:
+        return std::make_unique<DeadlineScheduler>();
+      case GcPolicy::ConcurrentOverlap:
+        return std::make_unique<OverlapScheduler>();
+    }
+    panic("unknown GcPolicy %d", int(policy));
+}
+
+GcPolicy
+parseGcPolicy(const std::string &text)
+{
+    if (text == "fifo") {
+        return GcPolicy::Fifo;
+    }
+    if (text == "deadline") {
+        return GcPolicy::Deadline;
+    }
+    if (text == "overlap") {
+        return GcPolicy::ConcurrentOverlap;
+    }
+    fatal("unknown GC policy '%s' (expected fifo|deadline|overlap)",
+          text.c_str());
+}
+
+const char *
+gcPolicyName(GcPolicy policy)
+{
+    switch (policy) {
+      case GcPolicy::Fifo:
+        return "fifo";
+      case GcPolicy::Deadline:
+        return "deadline";
+      case GcPolicy::ConcurrentOverlap:
+        return "overlap";
+    }
+    panic("unknown GcPolicy %d", int(policy));
+}
+
+} // namespace hwgc::driver

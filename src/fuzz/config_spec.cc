@@ -106,6 +106,9 @@ applyConfigSpec(core::HwgcConfig &config, const std::string &spec,
             config.bus.throttleBytesPerCycle = d;
         } else if (key == "threads" && parseUnsigned(value, u)) {
             config.hostThreads = u;
+        } else if (key == "devices" && parseUnsigned(value, u) &&
+                   u != 0) {
+            config.devices = u;
         } else if (key == "mem") {
             if (value == "ddr3") {
                 config.memModel = core::MemModel::Ddr3;
@@ -152,6 +155,11 @@ fullGrid()
     grid.push_back({"shared-cache", "shared=1"});
     grid.push_back({"compressed",
                     "comp=1,mbc=1024,mem=ideal"});
+    // Fleet shape: two devices behind one shared bus + memory, the
+    // schedule's collections alternating across the array. Exercises
+    // the multi-client arbitration and device retargeting paths the
+    // single-device points cannot reach.
+    grid.push_back({"fleet2-ideal", "devices=2,mem=ideal"});
     return grid;
 }
 

@@ -12,9 +12,12 @@
 #include "cpu/core_model.h"
 #include "gc/sw_collector.h"
 #include "gc/verifier.h"
+#include "mem/dram.h"
 #include "mem/ideal_mem.h"
+#include "mem/interconnect.h"
 #include "runtime/object_model.h"
 #include "sim/checkpoint.h"
+#include "sim/telemetry.h"
 
 namespace hwgc::fuzz
 {
@@ -48,7 +51,12 @@ struct SwDigest
     std::uint64_t liveAfter = 0;
 };
 
-/** One hardware leg: its own heap image and device. */
+/** One hardware leg: its own heap image and device — or, when the
+ *  config asks for `devices=N` with N > 1, a fleet-shaped array of N
+ *  devices behind one shared System + interconnect + memory, with the
+ *  schedule's collections round-robined across the array. Every
+ *  device retargets the same heap, so the functional digests must
+ *  match the single-device legs exactly. */
 class HwUniverse
 {
   public:
@@ -58,8 +66,54 @@ class HwUniverse
         builder_.build();
         heap_.clearAllMarks();
         heap_.publishRoots();
-        device_ = std::make_unique<core::HwgcDevice>(
-            mem_, heap_.pageTable(), config);
+        if (config.devices <= 1) {
+            device_ = std::make_unique<core::HwgcDevice>(
+                mem_, heap_.pageTable(), config);
+            return;
+        }
+
+        // Fleet shape: mirror FleetLab's SoC wiring (kernel mode
+        // first, units registered before bus before memory, partition
+        // d for device d's units).
+        sys_ = std::make_unique<System>();
+        sys_->setMode(config.kernel);
+        if (config.memModel == core::MemModel::Ddr3) {
+            auto dram =
+                std::make_unique<mem::Dram>("dram", config.dram, mem_);
+            dram_ = dram.get();
+            memory_ = std::move(dram);
+        } else {
+            memory_ = std::make_unique<mem::IdealMem>("idealmem",
+                                                      config.ideal, mem_);
+        }
+        bus_ = std::make_unique<mem::Interconnect>("bus", config.bus,
+                                                   *memory_);
+        auto &registry = telemetry::StatsRegistry::global();
+        for (unsigned d = 0; d < config.devices; ++d) {
+            core::SocContext soc;
+            soc.system = sys_.get();
+            soc.bus = bus_.get();
+            soc.memory = memory_.get();
+            soc.dram = dram_;
+            soc.namePrefix = "hwgc" + std::to_string(d) + ".";
+            soc.statsPrefix = registry.indexedPrefix("system.hwgc", d);
+            soc.unitPartition = d;
+            fleet_.push_back(std::make_unique<core::HwgcDevice>(
+                mem_, heap_.pageTable(), config, soc));
+        }
+        sys_->add(bus_.get());
+        sys_->add(memory_.get());
+        sys_->declareWakeupInputs(bus_.get(), {memory_.get()});
+        sys_->declareWakeupInputs(memory_.get(), {});
+        for (auto &dev : fleet_) {
+            dev->declareSharedBusEdges();
+        }
+        if (config.kernel == KernelMode::ParallelBsp) {
+            sys_->setPartition(bus_.get(), config.devices);
+            sys_->setPartition(memory_.get(), config.devices + 1);
+            sys_->setHostThreads(
+                config.hostThreads != 0 ? config.hostThreads : 1);
+        }
     }
 
     void mutate(double churn) { builder_.mutate(churn); }
@@ -75,11 +129,15 @@ class HwUniverse
     {
         heap_.clearAllMarks();
         heap_.publishRoots();
-        device_->resetPhaseState();
-        device_->resetStats();
-        device_->configure(heap_);
+        core::HwgcDevice &dev = fleet_.empty()
+            ? *device_
+            : *fleet_[collectIdx_++ % fleet_.size()];
+        dev.resetPhaseState();
+        dev.resetStats();
+        dev.configure(heap_);
 
-        const auto mark = device_->runMark();
+        const auto mark = fleet_.empty() ? dev.runMark()
+                                         : runFleetPhase(dev, true);
         if (inject_mark_bug) {
             injectMarkBug();
         }
@@ -96,7 +154,8 @@ class HwUniverse
             return false;
         }
 
-        const auto sweep = device_->runSweep();
+        const auto sweep = fleet_.empty() ? dev.runSweep()
+                                          : runFleetPhase(dev, false);
         digest.sweepCycles = sweep.cycles;
         digest.cellsFreed = sweep.cellsFreed;
 
@@ -116,9 +175,58 @@ class HwUniverse
         return true;
     }
 
-    core::HwgcDevice &device() { return *device_; }
+    /**
+     * The device to crash-checkpoint on divergence, or nullptr for
+     * fleet shapes: fleet-mode devices are checkpointed by their
+     * driver, not per device, so the artifact writer skips the
+     * architectural snapshot there (the schedule + repro line still
+     * reproduce the universe exactly).
+     */
+    core::HwgcDevice *checkpointDevice()
+    {
+        return device_.get();
+    }
 
   private:
+    /**
+     * Drives the shared System in fixed quanta until the launched
+     * phase reports done AND the device's own components drained
+     * (FleetLab's completion rule). Decisions at quantum boundaries
+     * keep the fleet legs bit-identical across kernels.
+     */
+    core::HwPhaseResult
+    runFleetPhase(core::HwgcDevice &dev, bool mark)
+    {
+        const Tick start = sys_->now();
+        if (mark) {
+            dev.startMark();
+        } else {
+            dev.startSweep();
+        }
+        const auto drained = [&] {
+            if (mark ? !dev.markDone() : !dev.sweepDone()) {
+                return false;
+            }
+            for (const Clocked *c : dev.ownComponents()) {
+                if (c->busy()) {
+                    return false;
+                }
+            }
+            return true;
+        };
+        std::uint64_t quanta = 0;
+        while (!drained()) {
+            sys_->run(256);
+            panic_if(++quanta > (1ULL << 24),
+                     "fuzz fleet universe wedged: %s phase never "
+                     "drained", mark ? "mark" : "sweep");
+        }
+        core::HwPhaseResult result =
+            mark ? dev.finishMark() : dev.finishSweep();
+        result.cycles = sys_->now() - start;
+        return result;
+    }
+
     /** The deliberate bug: lose the last marked object's mark bit. */
     void
     injectMarkBug()
@@ -137,7 +245,16 @@ class HwUniverse
     mem::PhysMem mem_;
     runtime::Heap heap_;
     workload::GraphBuilder builder_;
-    std::unique_ptr<core::HwgcDevice> device_;
+    std::unique_ptr<core::HwgcDevice> device_; //!< devices <= 1.
+
+    /** Fleet shape (devices > 1): shared SoC + device array. @{ */
+    std::unique_ptr<System> sys_;
+    std::unique_ptr<mem::MemDevice> memory_;
+    mem::Dram *dram_ = nullptr;
+    std::unique_ptr<mem::Interconnect> bus_;
+    std::vector<std::unique_ptr<core::HwgcDevice>> fleet_;
+    std::size_t collectIdx_ = 0; //!< Round-robin dispatch counter.
+    /** @} */
 };
 
 /** The software-collector witness leg. */
@@ -401,7 +518,7 @@ runSchedule(const Schedule &schedule, const FuzzOptions &options)
                 const bool inject = inject_here && collect_idx == 0;
                 if (!universe.collect(inject, digest, error)) {
                     return fail(point.name, kc.name, int(i), error,
-                                &universe.device());
+                                universe.checkpointDevice());
                 }
 
                 // (b) HW vs the software-collector witness.
@@ -417,7 +534,7 @@ runSchedule(const Schedule &schedule, const FuzzOptions &options)
                        << sw.freedObjects << ", live " << digest.liveAfter
                        << "/sw " << sw.liveAfter;
                     return fail(point.name, kc.name, int(i), os.str(),
-                                &universe.device());
+                                universe.checkpointDevice());
                 }
 
                 // (a) bit-identical across kernels within the config...
@@ -426,7 +543,7 @@ runSchedule(const Schedule &schedule, const FuzzOptions &options)
                 } else if (!compareKernelDigest(kernel_ref[collect_idx],
                                                 digest, error)) {
                     return fail(point.name, kc.name, int(i), error,
-                                &universe.device());
+                                universe.checkpointDevice());
                 }
 
                 // ...and functionally identical across configs.
@@ -435,7 +552,7 @@ runSchedule(const Schedule &schedule, const FuzzOptions &options)
                 } else if (!compareFunctional(func_ref[collect_idx],
                                               digest, error)) {
                     return fail(point.name, kc.name, int(i), error,
-                                &universe.device());
+                                universe.checkpointDevice());
                 }
 
                 ++collect_idx;

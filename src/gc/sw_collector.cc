@@ -17,7 +17,6 @@ namespace hwgc::gc
 
 using runtime::BlockTableEntry;
 using runtime::CellStart;
-using runtime::HeapLayout;
 using runtime::ObjectModel;
 using runtime::ObjRef;
 using runtime::StatusWord;
@@ -50,8 +49,8 @@ SwCollector::mark()
     GcResult result;
     const Tick start = core_.cycles();
 
-    const Addr qbase = HeapLayout::swQueueBase;
-    const std::uint64_t qcap = HeapLayout::swQueueSize / wordBytes;
+    const Addr qbase = heap_.swQueueBase();
+    const std::uint64_t qcap = heap_.swQueueSize() / wordBytes;
     std::uint64_t head = 0; // Pop index (in words).
     std::uint64_t tail = 0; // Push index.
 
@@ -59,7 +58,7 @@ SwCollector::mark()
     const std::uint64_t num_roots = heap_.publishedRootCount();
     for (std::uint64_t i = 0; i < num_roots; ++i) {
         const Word root =
-            core_.load(HeapLayout::hwgcSpaceBase + i * wordBytes);
+            core_.load(heap_.hwgcSpaceBase() + i * wordBytes);
         core_.branch(siteRefNull, root == runtime::nullRef);
         if (root != runtime::nullRef) {
             core_.store(qbase + (tail % qcap) * wordBytes, root);

@@ -31,7 +31,28 @@ Interconnect::registerClient(MemResponder *responder, std::string label)
     portBytes_.emplace_back("bytes::" + ports_.back().label);
     stagedSendCount_.push_back(0);
     publishedSize_.push_back(0);
+    clientGroup_.push_back(noGroup);
     return unsigned(ports_.size() - 1);
+}
+
+void
+Interconnect::setClientGroup(unsigned client, unsigned group)
+{
+    panic_if(client >= ports_.size(), "unknown client %u", client);
+    clientGroup_[client] = group;
+    if (group != noGroup && group >= groups_.size()) {
+        groups_.resize(group + 1);
+    }
+}
+
+void
+Interconnect::setGroupThrottle(unsigned group, double bytes_per_cycle)
+{
+    panic_if(group == noGroup, "cannot budget the noGroup sentinel");
+    if (group >= groups_.size()) {
+        groups_.resize(group + 1);
+    }
+    groups_[group].rate = bytes_per_cycle;
 }
 
 void
@@ -116,6 +137,14 @@ Interconnect::tick(Tick now)
             throttleTokens_ + params_.throttleBytesPerCycle,
             4.0 * double(lineBytes));
     }
+    // Per-group pacing buckets (fleet per-tenant budgets) accrue the
+    // same way, each against its own rate.
+    for (BudgetGroup &grp : groups_) {
+        if (grp.rate > 0.0) {
+            grp.tokens = std::min(grp.tokens + grp.rate,
+                                  4.0 * double(lineBytes));
+        }
+    }
 
     // Round-robin grant of up to grantsPerCycle requests. While
     // staging (ParallelBsp evaluate), the grant *decisions* are made
@@ -147,8 +176,16 @@ Interconnect::tick(Tick now)
             ++throttledGrants_;
             continue; // Out of bandwidth budget this cycle.
         }
+        BudgetGroup *grp = portGroup(idx);
+        if (grp != nullptr && grp->tokens < cost) {
+            ++groupThrottledGrants_;
+            continue; // Out of tenant budget this cycle.
+        }
         if (params_.throttleBytesPerCycle > 0.0) {
             throttleTokens_ -= cost;
+        }
+        if (grp != nullptr) {
+            grp->tokens -= cost;
         }
         if (staging) {
             stagedGrants_.push_back({req, now});
@@ -203,6 +240,16 @@ Interconnect::nextWakeup(Tick now) const
         // stay bit-identical to the dense kernel's.
         return now;
     }
+    bool pacing = throttling;
+    for (const BudgetGroup &grp : groups_) {
+        if (grp.rate <= 0.0) {
+            continue;
+        }
+        pacing = true;
+        if (grp.tokens < 4.0 * double(lineBytes)) {
+            return now; // Same cycle-exact accrual as the global bucket.
+        }
+    }
     Tick next = maxTick;
     if (!pendingResponses_.empty()) {
         next = std::min(next, pendingResponses_.front().readyAt);
@@ -211,7 +258,7 @@ Interconnect::nextWakeup(Tick now) const
         if (port.requests.empty()) {
             continue;
         }
-        if (throttling) {
+        if (pacing) {
             return now; // Grants spend tokens every cycle.
         }
         const auto &front = port.requests.front();
@@ -235,7 +282,8 @@ Interconnect::cycleClass(Tick now) const
         return CycleClass::Idle;
     }
     const bool throttling = params_.throttleBytesPerCycle > 0.0;
-    for (const auto &port : ports_) {
+    for (unsigned i = 0; i < unsigned(ports_.size()); ++i) {
+        const auto &port = ports_[i];
         if (port.requests.empty()) {
             continue;
         }
@@ -249,14 +297,18 @@ Interconnect::cycleClass(Tick now) const
             // stall under bandwidth pressure (Fig 16).
             return CycleClass::StallDram;
         }
-        if (throttling) {
-            const double cost =
-                double(std::max<unsigned>(front.req.size, lineBytes));
-            if (throttleTokens_ < cost) {
-                // Token-starved grant: the residual-bandwidth budget
-                // (§VII) is the limiter, i.e. DRAM bandwidth.
-                return CycleClass::StallDram;
-            }
+        const double cost =
+            double(std::max<unsigned>(front.req.size, lineBytes));
+        if (throttling && throttleTokens_ < cost) {
+            // Token-starved grant: the residual-bandwidth budget
+            // (§VII) is the limiter, i.e. DRAM bandwidth.
+            return CycleClass::StallDram;
+        }
+        const BudgetGroup *grp = portGroup(i);
+        if (grp != nullptr && grp->tokens < cost) {
+            // Starved by the tenant's pacing budget instead of the
+            // global one — still a bandwidth limit.
+            return CycleClass::StallDram;
         }
     }
     return CycleClass::Busy; // Traffic moving through the hops.
@@ -275,6 +327,12 @@ Interconnect::fastForward(Tick from, Tick to)
             throttleTokens_ +
                 double(to - from) * params_.throttleBytesPerCycle,
             4.0 * double(lineBytes));
+    }
+    for (BudgetGroup &grp : groups_) {
+        if (grp.rate > 0.0) {
+            grp.tokens = std::min(grp.tokens + double(to - from) * grp.rate,
+                                  4.0 * double(lineBytes));
+        }
     }
 }
 
@@ -346,6 +404,16 @@ Interconnect::save(checkpoint::Serializer &ser) const
     }
     ser.putU64(rrNext_);
     ser.putDouble(throttleTokens_);
+    // Group budgets are architectural state (the fleet driver programs
+    // them per dispatch), so the full mapping travels with the image.
+    ser.putU64(groups_.size());
+    for (const BudgetGroup &grp : groups_) {
+        ser.putDouble(grp.rate);
+        ser.putDouble(grp.tokens);
+    }
+    for (const unsigned g : clientGroup_) {
+        ser.putU64(g);
+    }
     // Record the actual end-of-cycle occupancy, not the publishedSize_
     // scratch: under the dense/event kernels bspPublish() never runs,
     // so the scratch would be stale (restore() rebuilds its own copy
@@ -360,6 +428,7 @@ Interconnect::save(checkpoint::Serializer &ser) const
         checkpoint::putStat(ser, s);
     }
     checkpoint::putStat(ser, throttledGrants_);
+    checkpoint::putStat(ser, groupThrottledGrants_);
     checkpoint::putStat(ser, busBusy_);
     checkpoint::putStat(ser, cycles_);
 }
@@ -393,6 +462,14 @@ Interconnect::restore(checkpoint::Deserializer &des)
     }
     rrNext_ = unsigned(des.getU64());
     throttleTokens_ = des.getDouble();
+    groups_.assign(std::size_t(des.getU64()), BudgetGroup{});
+    for (BudgetGroup &grp : groups_) {
+        grp.rate = des.getDouble();
+        grp.tokens = des.getDouble();
+    }
+    for (unsigned &g : clientGroup_) {
+        g = unsigned(des.getU64());
+    }
     // The published occupancies are consumed but not trusted: they are
     // BSP-kernel scratch that only bspPublish() maintains, so an image
     // written under the dense or event kernel carries stale values
@@ -413,6 +490,7 @@ Interconnect::restore(checkpoint::Deserializer &des)
         checkpoint::getStat(des, s);
     }
     checkpoint::getStat(des, throttledGrants_);
+    checkpoint::getStat(des, groupThrottledGrants_);
     checkpoint::getStat(des, busBusy_);
     checkpoint::getStat(des, cycles_);
 }
@@ -450,6 +528,7 @@ Interconnect::addStats(stats::Group &g) const
     g.add(&busBusy_);
     g.add(&cycles_);
     g.add(&throttledGrants_);
+    g.add(&groupThrottledGrants_);
     for (const auto &s : portRequests_) {
         g.add(&s);
     }

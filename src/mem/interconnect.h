@@ -66,6 +66,35 @@ class Interconnect : public Clocked, public MemResponder
      */
     void setClientOwner(unsigned client, const Clocked *owner);
 
+    /**
+     * @name Per-group pacing budgets (fleet mode, §VII extended)
+     *
+     * The global throttle caps everything moving through the bus; a
+     * fleet additionally paces each *tenant* with its own token
+     * bucket so one device's GC only uses the bandwidth budget its
+     * tenant paid for. Clients are mapped into budget groups (all of
+     * one device's ports -> the running tenant's group) and each
+     * group with a nonzero rate accrues and spends tokens exactly
+     * like the global bucket: accrual capped at four line transfers,
+     * grants charged at line granularity, starved grants counted and
+     * classed as DRAM stalls. Both buckets must pass for a grant.
+     * noGroup (the default) exempts a client from group pacing.
+     * @{
+     */
+    static constexpr unsigned noGroup = ~0u;
+
+    /** Assigns @p client to budget group @p group (or noGroup). */
+    void setClientGroup(unsigned client, unsigned group);
+
+    /** Sets group @p group's budget in bytes/cycle (0 = unpaced). */
+    void setGroupThrottle(unsigned group, double bytes_per_cycle);
+
+    std::uint64_t groupThrottledGrants() const
+    {
+        return groupThrottledGrants_.value();
+    }
+    /** @} */
+
     /** True if client @p client can enqueue one more request. */
     bool canAccept(unsigned client) const;
 
@@ -162,6 +191,33 @@ class Interconnect : public Clocked, public MemResponder
     unsigned rrNext_ = 0;
     double throttleTokens_ = 0.0;
     stats::Scalar throttledGrants_{"throttledGrants"};
+
+    /** @name Per-group pacing state (see setClientGroup) @{ */
+    struct BudgetGroup
+    {
+        double rate = 0.0;   //!< Bytes/cycle budget (0 = unpaced).
+        double tokens = 0.0; //!< Current bucket fill.
+    };
+
+    /** The group a port's grants are charged to (noGroup = none). */
+    const BudgetGroup *portGroup(unsigned client) const
+    {
+        const unsigned g = clientGroup_[client];
+        return (g != noGroup && g < groups_.size() &&
+                groups_[g].rate > 0.0)
+            ? &groups_[g]
+            : nullptr;
+    }
+    BudgetGroup *portGroup(unsigned client)
+    {
+        return const_cast<BudgetGroup *>(
+            const_cast<const Interconnect *>(this)->portGroup(client));
+    }
+
+    std::vector<BudgetGroup> groups_;
+    std::vector<unsigned> clientGroup_; //!< Per client, default noGroup.
+    stats::Scalar groupThrottledGrants_{"groupThrottledGrants"};
+    /** @} */
 
     stats::Scalar busBusy_{"busBusyCycles"};
     stats::Scalar cycles_{"cycles"};

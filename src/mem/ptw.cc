@@ -12,7 +12,7 @@ namespace hwgc::mem
 
 Ptw::Ptw(std::string name, const PtwParams &params,
          const PageTable &page_table, MemPort *port)
-    : Clocked(std::move(name)), params_(params), pageTable_(page_table),
+    : Clocked(std::move(name)), params_(params), pageTable_(&page_table),
       port_(port), l2Tlb_(this->name() + ".l2tlb", params.l2TlbEntries)
 {
     panic_if(port_ == nullptr, "PTW needs a memory port");
@@ -109,7 +109,7 @@ Ptw::tick(Tick now)
     ++walks_;
     DPRINTF(now, "PTW", "%s: walk va=%#llx", name().c_str(),
             (unsigned long long)current_.va);
-    walkPlan_ = pageTable_.walk(current_.va);
+    walkPlan_ = pageTable_->walk(current_.va);
     level_ = 0;
     walking_ = true;
     issueLevel(now);

@@ -102,6 +102,19 @@ class Ptw : public Clocked, public MemResponder
     /** The shared second-level TLB (flush between phases). */
     TlbArray &l2Tlb() { return l2Tlb_; }
 
+    /**
+     * Retargets the walker at another tenant's page table (fleet
+     * time-multiplexing). Callers must flush the TLBs and ensure no
+     * walk is in flight — this is part of the §VII context switch.
+     */
+    void
+    setPageTable(const PageTable &page_table)
+    {
+        panic_if(walking_ || !queue_.empty(),
+                 "ptw retargeted with a walk in flight");
+        pageTable_ = &page_table;
+    }
+
     void resetStats();
 
     /** @name Statistics @{ */
@@ -151,7 +164,7 @@ class Ptw : public Clocked, public MemResponder
                                  const std::string &origin) const;
 
     PtwParams params_;
-    const PageTable &pageTable_;
+    const PageTable *pageTable_;
     MemPort *port_;
     TlbArray l2Tlb_;
 

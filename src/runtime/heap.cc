@@ -14,23 +14,23 @@ namespace hwgc::runtime
 
 Heap::Heap(mem::PhysMem &mem, const HeapParams &params)
     : mem_(mem), params_(params),
-      pageTable_(mem, HeapLayout::pageTableBase,
+      pageTable_(mem, params.addrBase + HeapLayout::pageTableBase,
                  HeapLayout::pageTableSize),
-      msBump_(HeapLayout::markSweepBase),
-      losBump_(HeapLayout::losBase),
-      immortalBump_(HeapLayout::immortalBase)
+      msBump_(params.addrBase + HeapLayout::markSweepBase),
+      losBump_(params.addrBase + HeapLayout::losBase),
+      immortalBump_(params.addrBase + HeapLayout::immortalBase)
 {
     // Metadata and bump spaces are mapped eagerly; MarkSweep blocks
     // are mapped as they are carved (superpage mode maps the whole
     // reserve up front instead — real superpage heaps are contiguous
     // reservations).
-    mapIdentity(HeapLayout::blockTableBase, HeapLayout::blockTableSize);
-    mapIdentity(HeapLayout::hwgcSpaceBase, HeapLayout::hwgcSpaceSize);
-    mapIdentity(HeapLayout::swQueueBase, HeapLayout::swQueueSize);
-    mapIdentity(HeapLayout::losBase, params_.losReserve);
-    mapIdentity(HeapLayout::immortalBase, params_.immortalReserve);
+    mapIdentity(blockTableBase(), HeapLayout::blockTableSize);
+    mapIdentity(hwgcSpaceBase(), HeapLayout::hwgcSpaceSize);
+    mapIdentity(swQueueBase(), HeapLayout::swQueueSize);
+    mapIdentity(losBase(), params_.losReserve);
+    mapIdentity(immortalBase(), params_.immortalReserve);
     if (params_.useSuperpages) {
-        mapIdentity(HeapLayout::markSweepBase, params_.markSweepReserve);
+        mapIdentity(markSweepBase(), params_.markSweepReserve);
     }
 }
 
@@ -58,7 +58,7 @@ Heap::objectBytes(std::uint32_t num_refs,
 std::size_t
 Heap::newBlock(unsigned cls)
 {
-    const std::uint64_t used = msBump_ - HeapLayout::markSweepBase;
+    const std::uint64_t used = msBump_ - markSweepBase();
     fatal_if(used + blockBytes > params_.markSweepReserve,
              "MarkSweep space exhausted (%llu blocks)",
              (unsigned long long)blocks_.size());
@@ -152,7 +152,7 @@ Heap::formatObject(Addr cell, std::uint32_t num_refs,
         // (Fig 6a). Point the first hidden word at a per-type TIB in
         // the immortal space; the tracer's TIB-mode path reads it to
         // model the extra accesses the bidirectional layout removes.
-        const Addr tib = HeapLayout::immortalBase +
+        const Addr tib = immortalBase() +
             (Addr(type_id) % 1024) * lineBytes;
         mem_.writeWord(ref + wordBytes, tib);
     }
@@ -184,8 +184,7 @@ Heap::allocate(std::uint32_t num_refs, std::uint32_t payload_words,
 
     if (cell == 0 && space == Space::Los) {
         const Addr base = alignUp(losBump_, 16);
-        fatal_if(base + bytes >
-                 HeapLayout::losBase + params_.losReserve,
+        fatal_if(base + bytes > losBase() + params_.losReserve,
                  "large object space exhausted");
         losBump_ = base + bytes;
         bytesAllocated_ += bytes;
@@ -193,7 +192,7 @@ Heap::allocate(std::uint32_t num_refs, std::uint32_t payload_words,
     } else if (cell == 0 && space == Space::Immortal) {
         const Addr base = alignUp(immortalBump_, 16);
         fatal_if(base + bytes >
-                 HeapLayout::immortalBase + params_.immortalReserve,
+                 immortalBase() + params_.immortalReserve,
                  "immortal space exhausted");
         immortalBump_ = base + bytes;
         bytesAllocated_ += bytes;
@@ -245,8 +244,7 @@ Heap::publishRoots()
     fatal_if(roots_.size() * wordBytes > HeapLayout::hwgcSpaceSize,
              "hwgc-space too small for %zu roots", roots_.size());
     for (std::size_t i = 0; i < roots_.size(); ++i) {
-        mem_.writeWord(HeapLayout::hwgcSpaceBase + i * wordBytes,
-                       roots_[i]);
+        mem_.writeWord(hwgcSpaceBase() + i * wordBytes, roots_[i]);
     }
     publishedRoots_ = roots_.size();
 }
@@ -315,6 +313,7 @@ Heap::save(checkpoint::Serializer &ser) const
     ser.putU64(params_.immortalReserve);
     ser.putU64(std::uint64_t(params_.layout));
     ser.putBool(params_.useSuperpages);
+    ser.putU64(params_.addrBase);
 
     ser.putU64(pageTable_.pagesAllocated());
 
@@ -360,7 +359,8 @@ Heap::restore(checkpoint::Deserializer &des)
              des.getU64() != params_.losReserve ||
              des.getU64() != params_.immortalReserve ||
              des.getU64() != std::uint64_t(params_.layout) ||
-             des.getBool() != params_.useSuperpages,
+             des.getBool() != params_.useSuperpages ||
+             des.getU64() != params_.addrBase,
              "heap snapshot '%s' was taken under different HeapParams",
              des.origin().c_str());
 

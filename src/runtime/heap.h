@@ -51,6 +51,14 @@ struct HeapParams
     Layout layout = Layout::Bidirectional;
 
     /**
+     * Base address this heap's whole region layout is offset by.
+     * Zero reproduces the classic single-tenant HeapLayout addresses;
+     * fleet mode gives each tenant a disjoint stride (e.g. 2 GiB) of
+     * one shared PhysMem so N heaps coexist behind one DRAM backend.
+     */
+    Addr addrBase = 0;
+
+    /**
      * Map heap regions with 2 MiB superpages instead of 4 KiB pages
      * (the paper's §VII scalability suggestion): multiplies TLB reach
      * by 512 and removes most of the blocking-PTW serialization.
@@ -98,8 +106,41 @@ class Heap
      */
     void publishRoots();
 
-    Addr hwgcSpaceBase() const { return HeapLayout::hwgcSpaceBase; }
+    Addr hwgcSpaceBase() const
+    {
+        return params_.addrBase + HeapLayout::hwgcSpaceBase;
+    }
     std::uint64_t publishedRootCount() const { return publishedRoots_; }
+    /** @} */
+
+    /** @name Region bases for this instance (addrBase-shifted) @{ */
+    Addr addrBase() const { return params_.addrBase; }
+    Addr pageTableBase() const
+    {
+        return params_.addrBase + HeapLayout::pageTableBase;
+    }
+    Addr swQueueBase() const
+    {
+        return params_.addrBase + HeapLayout::swQueueBase;
+    }
+    std::uint64_t swQueueSize() const { return HeapLayout::swQueueSize; }
+    Addr markSweepBase() const
+    {
+        return params_.addrBase + HeapLayout::markSweepBase;
+    }
+    Addr losBase() const
+    {
+        return params_.addrBase + HeapLayout::losBase;
+    }
+    Addr immortalBase() const
+    {
+        return params_.addrBase + HeapLayout::immortalBase;
+    }
+    Addr spillBase() const
+    {
+        return params_.addrBase + HeapLayout::spillBase;
+    }
+    std::uint64_t spillBytes() const { return HeapLayout::spillSize; }
     /** @} */
 
     /** @name Block inventory (consumed by the sweepers) @{ */
@@ -111,7 +152,10 @@ class Heap
     };
 
     const std::vector<BlockInfo> &blocks() const { return blocks_; }
-    Addr blockTableBase() const { return HeapLayout::blockTableBase; }
+    Addr blockTableBase() const
+    {
+        return params_.addrBase + HeapLayout::blockTableBase;
+    }
 
     /** Address of block @p idx's descriptor in the in-memory table. */
     Addr blockTableEntryAddr(std::size_t idx) const;

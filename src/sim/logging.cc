@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <mutex>
 #include <set>
+#include <vector>
 
 namespace hwgc
 {
@@ -32,31 +33,65 @@ vreport(const char *prefix, const char *fmt, std::va_list ap)
     std::fprintf(stderr, "\n");
 }
 
-void (*crashHook)(void *ctx) = nullptr;
-void *crashHookCtx = nullptr;
+struct CrashHookEntry
+{
+    unsigned id;
+    void (*hook)(void *ctx);
+    void *ctx;
+};
 
-/** Runs the crash hook at most once (clears it first, so a failure
- *  inside the hook falls straight through to termination). */
+std::vector<CrashHookEntry> &
+crashHooks()
+{
+    static std::vector<CrashHookEntry> hooks;
+    return hooks;
+}
+
+unsigned crashHookNextId = 1;
+
+/** Runs every registered crash hook, most recent first. Each entry is
+ *  popped before its hook is invoked, so a panic *inside* a hook
+ *  cannot recurse into it — the older hooks still get their turn. */
 void
 runCrashHook()
 {
-    if (crashHook == nullptr) {
-        return;
+    auto &hooks = crashHooks();
+    while (!hooks.empty()) {
+        const CrashHookEntry entry = hooks.back();
+        hooks.pop_back();
+        entry.hook(entry.ctx);
     }
-    void (*hook)(void *) = crashHook;
-    void *ctx = crashHookCtx;
-    crashHook = nullptr;
-    crashHookCtx = nullptr;
-    hook(ctx);
 }
 
 } // namespace
 
+unsigned
+addCrashHook(void (*hook)(void *ctx), void *ctx)
+{
+    const unsigned id = crashHookNextId++;
+    crashHooks().push_back({id, hook, ctx});
+    return id;
+}
+
+void
+removeCrashHook(unsigned id)
+{
+    auto &hooks = crashHooks();
+    for (auto it = hooks.begin(); it != hooks.end(); ++it) {
+        if (it->id == id) {
+            hooks.erase(it);
+            return;
+        }
+    }
+}
+
 void
 setCrashHook(void (*hook)(void *ctx), void *ctx)
 {
-    crashHook = hook;
-    crashHookCtx = ctx;
+    crashHooks().clear();
+    if (hook != nullptr) {
+        addCrashHook(hook, ctx);
+    }
 }
 
 void

@@ -31,11 +31,25 @@ namespace hwgc
     __attribute__((format(printf, 3, 4)));
 
 /**
- * Installs a hook invoked once, after the error message is printed
- * but before the process terminates, on any panic() or fatal(). Used
- * by the checkpoint layer to write an automatic crash dump for
- * post-mortem inspection. The hook is cleared before it runs (a
- * failure inside the hook cannot recurse); nullptr uninstalls.
+ * Registers a hook invoked after the error message is printed but
+ * before the process terminates, on any panic() or fatal(). Used by
+ * the checkpoint layer to write an automatic crash dump for
+ * post-mortem inspection. Any number of hooks may be registered (one
+ * per armed device in a fleet); all of them run, most recent first.
+ * Each hook is removed from the registry before it is invoked, so a
+ * failure *inside* a hook cannot recurse into it — the remaining
+ * hooks still run for their own sessions.
+ * @return An id to pass to removeCrashHook().
+ */
+unsigned addCrashHook(void (*hook)(void *ctx), void *ctx);
+
+/** Unregisters a hook by the id addCrashHook() returned (no-op if it
+ *  already ran or was removed). */
+void removeCrashHook(unsigned id);
+
+/**
+ * Legacy single-hook interface: installs @p hook as the only
+ * registered hook (clearing all others); nullptr uninstalls all.
  */
 void setCrashHook(void (*hook)(void *ctx), void *ctx);
 

@@ -190,12 +190,23 @@ class StatsRegistry
     static StatsRegistry &global();
 
     /**
-     * Registers @p group under @p path (uniquified on collision).
+     * Registers @p group under @p path (uniquified against *live*
+     * groups on collision). A retired group at the chosen path is
+     * superseded — its stale values drop out of future exports —
+     * which is what device churn wants: the slot's current occupant
+     * represents the path, and re-registering does not grow the
+     * export or shift the path with an ever-increasing "#N" suffix.
      * @return The path actually used — pass it to remove().
      */
     std::string add(const std::string &path, const stats::Group *group);
 
-    /** Unregisters @p path, retiring the group's current values. */
+    /**
+     * Unregisters @p path, retiring the group's current values. Also
+     * drops the path's interval-delta baselines, so a later
+     * re-registration at the same path starts its deltas from zero
+     * instead of inheriting the dead component's running totals
+     * (which rendered as a large negative delta).
+     */
     void remove(const std::string &path);
 
     /**
@@ -204,6 +215,16 @@ class StatsRegistry
      * within a process, so two live devices cannot collide.
      */
     std::string uniquePrefix(const std::string &base);
+
+    /**
+     * Claims the *specific* prefix "<base><n>" and bumps the counter
+     * past it, so later uniquePrefix() calls cannot hand it out
+     * again. Checkpoint restore uses this to pin each restored
+     * device to the index it had when the image was written —
+     * without it the counter restarts at 0 in the new process and
+     * stats paths drift between the saver and the restorer.
+     */
+    std::string indexedPrefix(const std::string &base, unsigned n);
 
     /** Live groups, sorted by path. */
     const std::map<std::string, const stats::Group *> &groups() const
@@ -245,6 +266,9 @@ class StatsRegistry
 
   private:
     StatsRegistry() = default;
+
+    /** Erases the interval-delta baselines under "<path>.". */
+    void dropSnapshotBaselines(const std::string &path);
 
     struct SnapshotRow
     {

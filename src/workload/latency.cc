@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "quantile.h"
 #include "sim/logging.h"
 
 namespace hwgc::workload
@@ -23,11 +24,7 @@ LatencyResult::percentile(double q) const
         sorted.push_back(s.latencyMs);
     }
     std::sort(sorted.begin(), sorted.end());
-    const double pos = q * double(sorted.size() - 1);
-    const std::size_t lo = std::size_t(pos);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = pos - double(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    return quantileSorted(sorted, q);
 }
 
 double
@@ -50,31 +47,21 @@ LatencyResult::maxMs() const
     return m;
 }
 
+namespace
+{
+
+/**
+ * The shared service loop: a fixed issue schedule, one serving
+ * thread, and stop-the-world preemption by the supplied pause
+ * windows (sorted, non-overlapping). Issue times never depend on
+ * completion times — the coordinated-omission correction.
+ */
 LatencyResult
-runLatencyExperiment(const LatencyParams &params,
-                     const std::vector<double> &pause_durations_ms,
-                     double mutator_ms_between_gcs)
+serviceLoop(const LatencyParams &params,
+            const std::vector<PauseWindow> &pauses)
 {
     panic_if(params.warmupQueries >= params.totalQueries,
              "warm-up swallows every query");
-
-    // Lay out the pause timeline for the whole run: mutator period,
-    // pause, mutator period, pause, ... cycling the measured pauses.
-    const double run_ms =
-        params.issueIntervalMs * double(params.totalQueries) + 1000.0;
-    struct Pause { double start, end; };
-    std::vector<Pause> pauses;
-    if (!pause_durations_ms.empty() && mutator_ms_between_gcs > 0.0) {
-        double t = mutator_ms_between_gcs;
-        std::size_t i = 0;
-        while (t < run_ms) {
-            const double d = pause_durations_ms[i %
-                                                pause_durations_ms.size()];
-            pauses.push_back({t, t + d});
-            t += d + mutator_ms_between_gcs;
-            ++i;
-        }
-    }
 
     Rng rng(params.seed);
     LatencyResult result;
@@ -92,14 +79,14 @@ runLatencyExperiment(const LatencyParams &params,
         double service = params.serviceMeanMs +
             rng.uniform() * params.serviceJitterMs;
         while (pause_cursor < pauses.size() &&
-               pauses[pause_cursor].end <= start) {
+               pauses[pause_cursor].endMs <= start) {
             ++pause_cursor;
         }
         std::size_t pc = pause_cursor;
         double done = start + service;
-        while (pc < pauses.size() && pauses[pc].start < done) {
+        while (pc < pauses.size() && pauses[pc].startMs < done) {
             near_pause = true;
-            done += pauses[pc].end - pauses[pc].start;
+            done += pauses[pc].endMs - pauses[pc].startMs;
             ++pc;
         }
         server_free = done;
@@ -109,6 +96,57 @@ runLatencyExperiment(const LatencyParams &params,
         }
     }
     return result;
+}
+
+} // namespace
+
+LatencyResult
+runLatencyExperiment(const LatencyParams &params,
+                     const std::vector<double> &pause_durations_ms,
+                     double mutator_ms_between_gcs)
+{
+    // Lay out the pause timeline for the whole run: mutator period,
+    // pause, mutator period, pause, ... cycling the measured pauses.
+    const double run_ms =
+        params.issueIntervalMs * double(params.totalQueries) + 1000.0;
+    std::vector<PauseWindow> pauses;
+    if (!pause_durations_ms.empty() && mutator_ms_between_gcs > 0.0) {
+        double t = mutator_ms_between_gcs;
+        std::size_t i = 0;
+        while (t < run_ms) {
+            const double d = pause_durations_ms[i %
+                                                pause_durations_ms.size()];
+            pauses.push_back({t, t + d});
+            t += d + mutator_ms_between_gcs;
+            ++i;
+        }
+    }
+    return serviceLoop(params, pauses);
+}
+
+LatencyResult
+runLatencyTimeline(const LatencyParams &params,
+                   const std::vector<PauseWindow> &windows,
+                   double period_ms)
+{
+    std::vector<PauseWindow> pauses;
+    if (!windows.empty() && period_ms > 0.0) {
+        for (std::size_t i = 1; i < windows.size(); ++i) {
+            panic_if(windows[i].startMs < windows[i - 1].endMs,
+                     "pause windows overlap or are unsorted");
+        }
+        panic_if(windows.back().endMs > period_ms,
+                 "pause window extends past the tiling period");
+        const double run_ms =
+            params.issueIntervalMs * double(params.totalQueries) +
+            1000.0;
+        for (double base = 0.0; base < run_ms; base += period_ms) {
+            for (const PauseWindow &w : windows) {
+                pauses.push_back({base + w.startMs, base + w.endMs});
+            }
+        }
+    }
+    return serviceLoop(params, pauses);
 }
 
 } // namespace hwgc::workload

@@ -67,6 +67,28 @@ LatencyResult runLatencyExperiment(
     const std::vector<double> &pause_durations_ms,
     double mutator_ms_between_gcs);
 
+/** One stop-the-world window on a measured timeline. */
+struct PauseWindow
+{
+    double startMs = 0.0;
+    double endMs = 0.0;
+};
+
+/**
+ * Timeline variant of the latency experiment: instead of synthesising
+ * a pause schedule from durations and a fixed mutator gap, the caller
+ * supplies the *measured* windows — each pause pinned to the instant
+ * the fleet actually stopped that tenant's world. The windows (which
+ * must be non-overlapping and sorted by start) cover one measured
+ * period of @p period_ms; the pattern is tiled periodically across
+ * the whole issue horizon, so a short measured run drives millions of
+ * analytic queries. @p period_ms <= 0 or an empty window list means
+ * no pauses at all.
+ */
+LatencyResult runLatencyTimeline(const LatencyParams &params,
+                                 const std::vector<PauseWindow> &windows,
+                                 double period_ms);
+
 } // namespace hwgc::workload
 
 #endif // HWGC_WORKLOAD_LATENCY_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Quantile helper implementation.
+ */
+
+#include "quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.h"
+
+namespace hwgc::workload
+{
+
+double
+quantileSorted(const std::vector<double> &sorted, double q)
+{
+    panic_if(sorted.empty(), "quantile of an empty sample set");
+    panic_if(q < 0.0 || q > 1.0, "quantile %g outside [0, 1]", q);
+    const double pos = q * double(sorted.size() - 1);
+    std::size_t lo = std::size_t(pos);
+    if (lo >= sorted.size()) {
+        lo = sorted.size() - 1; // q == 1.0 under FP round-up.
+    }
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double
+quantile(std::vector<double> values, double q)
+{
+    std::sort(values.begin(), values.end());
+    return quantileSorted(values, q);
+}
+
+double
+nearestRankSorted(const std::vector<double> &sorted, double q)
+{
+    panic_if(sorted.empty(), "quantile of an empty sample set");
+    panic_if(q < 0.0 || q > 1.0, "quantile %g outside [0, 1]", q);
+    const double rank = std::ceil(q * double(sorted.size()));
+    std::size_t idx = rank <= 1.0 ? 0 : std::size_t(rank) - 1;
+    if (idx >= sorted.size()) {
+        idx = sorted.size() - 1;
+    }
+    return sorted[idx];
+}
+
+} // namespace hwgc::workload

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared quantile helpers for the latency harnesses and benches.
+ *
+ * Every bench that reports a tail percentile goes through these
+ * functions. The clamping matters: a naive nearest-rank index
+ * `size_t(q * n)` reads one past the end for q = 1.0, and rounds to
+ * `n` for p99.9 of fewer than 1000 samples — both out-of-range reads
+ * that happen to "work" until the allocator shifts. Both entry points
+ * clamp the computed rank into [0, n-1] so small sample sets degrade
+ * to the max sample instead of to garbage.
+ */
+
+#ifndef HWGC_WORKLOAD_QUANTILE_H
+#define HWGC_WORKLOAD_QUANTILE_H
+
+#include <vector>
+
+namespace hwgc::workload
+{
+
+/**
+ * Linearly-interpolated quantile of an ascending-sorted sample set
+ * (the "R-7" estimator): position q*(n-1), interpolated between the
+ * two neighbouring order statistics. Panics on an empty set or
+ * q outside [0, 1].
+ */
+double quantileSorted(const std::vector<double> &sorted, double q);
+
+/** Sorts a copy of @p values, then quantileSorted(). */
+double quantile(std::vector<double> values, double q);
+
+/**
+ * Nearest-rank quantile of an ascending-sorted sample set: the
+ * smallest sample such that at least q of the set is <= it
+ * (rank ceil(q*n), clamped into range). p99.9 of 10 samples is the
+ * max sample, not an out-of-range read. Panics on an empty set or
+ * q outside [0, 1].
+ */
+double nearestRankSorted(const std::vector<double> &sorted, double q);
+
+} // namespace hwgc::workload
+
+#endif // HWGC_WORKLOAD_QUANTILE_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Shared quantile-helper tests. The benches used to compute
+ * percentiles with ad-hoc index arithmetic; the p99.9 of a
+ * sub-1000-sample vector indexed one past the end. Every bench now
+ * routes through workload/quantile.h, and these tests pin the edge
+ * cases that bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/latency.h"
+#include "workload/quantile.h"
+
+namespace hwgc
+{
+namespace
+{
+
+std::vector<double>
+iota(unsigned n)
+{
+    std::vector<double> v;
+    for (unsigned i = 1; i <= n; ++i) {
+        v.push_back(double(i));
+    }
+    return v;
+}
+
+TEST(Quantile, P999OfTenSamplesIsTheMaxNotOutOfRange)
+{
+    // The regression: nearest-rank p99.9 of 10 samples computed index
+    // ceil(0.999 * 10) = 10 into a 10-element array.
+    const auto v = iota(10);
+    EXPECT_DOUBLE_EQ(workload::nearestRankSorted(v, 0.999), 10.0);
+    EXPECT_DOUBLE_EQ(workload::quantileSorted(v, 0.999), 9.991);
+}
+
+TEST(Quantile, SingleSampleAnswersEveryQuantile)
+{
+    const std::vector<double> v = {42.0};
+    for (const double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+        EXPECT_DOUBLE_EQ(workload::quantileSorted(v, q), 42.0);
+        EXPECT_DOUBLE_EQ(workload::nearestRankSorted(v, q), 42.0);
+    }
+}
+
+TEST(Quantile, EndpointsAreMinAndMax)
+{
+    const auto v = iota(100);
+    EXPECT_DOUBLE_EQ(workload::quantileSorted(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(workload::quantileSorted(v, 1.0), 100.0);
+    EXPECT_DOUBLE_EQ(workload::nearestRankSorted(v, 1.0), 100.0);
+    // q=0 conventionally returns the smallest sample.
+    EXPECT_DOUBLE_EQ(workload::nearestRankSorted(v, 0.0), 1.0);
+}
+
+TEST(Quantile, InterpolatesBetweenAdjacentRanks)
+{
+    const std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(workload::quantileSorted(v, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(workload::quantileSorted(v, 0.25), 2.5);
+}
+
+TEST(Quantile, NearestRankMatchesTheTextbookDefinition)
+{
+    const auto v = iota(100);
+    EXPECT_DOUBLE_EQ(workload::nearestRankSorted(v, 0.50), 50.0);
+    EXPECT_DOUBLE_EQ(workload::nearestRankSorted(v, 0.99), 99.0);
+    EXPECT_DOUBLE_EQ(workload::nearestRankSorted(v, 0.999), 100.0);
+}
+
+TEST(Quantile, UnsortedOverloadSortsACopy)
+{
+    std::vector<double> v = {9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(workload::quantile(v, 0.5), 5.0);
+    // The caller's vector is taken by value: still unsorted here.
+    EXPECT_DOUBLE_EQ(v[0], 9.0);
+}
+
+TEST(QuantileDeathTest, EmptyAndOutOfRangeInputsPanic)
+{
+    const std::vector<double> empty;
+    const std::vector<double> one = {1.0};
+    EXPECT_DEATH(workload::quantileSorted(empty, 0.5), "empty");
+    EXPECT_DEATH(workload::nearestRankSorted(empty, 0.5), "empty");
+    EXPECT_DEATH(workload::quantileSorted(one, -0.1), "quantile");
+    EXPECT_DEATH(workload::quantileSorted(one, 1.1), "quantile");
+}
+
+TEST(Quantile, LatencyResultPercentileUsesTheSharedHelper)
+{
+    workload::LatencyResult r;
+    for (unsigned i = 1; i <= 10; ++i) {
+        r.samples.push_back({double(i), double(i), false});
+    }
+    // Ten samples, p99.9: in range, near the max.
+    EXPECT_NEAR(r.percentile(0.999), 9.991, 1e-9);
+    EXPECT_DOUBLE_EQ(r.percentile(1.0), 10.0);
+}
+
+// ---------------------------------------------------------------------
+// runLatencyTimeline: the fleet replays a request process over
+// measured pause windows tiled across the issue horizon.
+// ---------------------------------------------------------------------
+
+workload::LatencyParams
+tinyParams()
+{
+    workload::LatencyParams p;
+    p.issueIntervalMs = 1.0;
+    p.totalQueries = 2000;
+    p.warmupQueries = 100;
+    p.serviceMeanMs = 0.1;
+    p.serviceJitterMs = 0.0;
+    return p;
+}
+
+TEST(LatencyTimeline, NoWindowsMatchesAPauseFreeRun)
+{
+    const auto a = workload::runLatencyTimeline(tinyParams(), {}, 50.0);
+    const auto b = workload::runLatencyExperiment(tinyParams(), {}, 0.0);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    EXPECT_DOUBLE_EQ(a.percentile(0.999), b.percentile(0.999));
+}
+
+TEST(LatencyTimeline, PausesInflateTheTail)
+{
+    const std::vector<workload::PauseWindow> windows = {
+        {10.0, 14.0}, {30.0, 31.0}};
+    const auto with = workload::runLatencyTimeline(tinyParams(),
+                                                   windows, 50.0);
+    const auto without =
+        workload::runLatencyTimeline(tinyParams(), {}, 50.0);
+    EXPECT_GT(with.percentile(0.999), without.percentile(0.999) + 1.0);
+    // The 4 ms pause recurs every 50 ms: ~8% of queries stall on it,
+    // so the median is untouched (modulo issue-clock rounding).
+    EXPECT_NEAR(with.percentile(0.5), without.percentile(0.5), 1e-6);
+}
+
+TEST(LatencyTimelineDeathTest, RejectsMalformedWindows)
+{
+    const auto params = tinyParams();
+    EXPECT_DEATH(workload::runLatencyTimeline(
+                     params, {{10.0, 14.0}, {12.0, 15.0}}, 50.0),
+                 "overlap");
+    EXPECT_DEATH(workload::runLatencyTimeline(params, {{45.0, 55.0}},
+                                              50.0),
+                 "period");
+}
+
+} // namespace
+} // namespace hwgc

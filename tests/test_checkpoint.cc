@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/hwgc_device.h"
+#include "driver/fleet.h"
 #include "sim/checkpoint.h"
 #include "sim/telemetry.h"
 #include "workload/graph_gen.h"
@@ -85,7 +86,8 @@ tmpPath(const std::string &name)
 std::string
 normalizeInstanceIds(std::string s)
 {
-    for (const char *key : {"system.hwgc", "system.cpu"}) {
+    for (const char *key :
+         {"system.hwgc", "system.cpu", "system.fleet"}) {
         const std::size_t klen = std::strlen(key);
         std::size_t pos = 0;
         while ((pos = s.find(key, pos)) != std::string::npos) {
@@ -328,6 +330,108 @@ TEST(Checkpoint, PhaseCheckpointResumesNextPause)
     runSecondPause(restored);
     EXPECT_EQ(restored.device->system().now(), original_now);
     expectSameStatsJson(original_stats, exportStats());
+}
+
+// ---------------------------------------------------------------------
+// Fleet checkpoints: the whole 2-device fleet — driver queues, shared
+// bus + DRAM, every tenant heap — round-trips through one file and
+// resumes bit-identically. tests/test_fleet.cc owns the deeper matrix
+// (cross-kernel restore, measured-percentile equality); this keeps a
+// compact fleet round-trip beside the single-device format tests.
+// ---------------------------------------------------------------------
+
+/** A finished fleet run folded down to everything that must match. */
+struct FleetFinal
+{
+    Tick now = 0;
+    std::uint64_t totalGcs = 0;
+    std::vector<std::uint64_t> perTenant; //!< gcs/stw/queue triples.
+    std::string statsJson;
+};
+
+FleetFinal
+fleetFinal(driver::FleetLab &lab)
+{
+    FleetFinal f;
+    f.now = lab.now();
+    f.totalGcs = lab.totalGcs();
+    for (const auto &stats : lab.stats()) {
+        f.perTenant.push_back(stats.gcs);
+        f.perTenant.push_back(stats.stwCycles);
+        f.perTenant.push_back(stats.queueCycles);
+    }
+    f.statsJson = exportStats();
+    return f;
+}
+
+void
+expectSameFleetFinal(const FleetFinal &ref, const FleetFinal &run)
+{
+    EXPECT_EQ(ref.now, run.now);
+    EXPECT_EQ(ref.totalGcs, run.totalGcs);
+    EXPECT_EQ(ref.perTenant, run.perTenant);
+    expectSameStatsJson(ref.statsJson, run.statsJson);
+}
+
+driver::FleetConfig
+fleetTestConfig()
+{
+    driver::FleetConfig config;
+    config.devices = 2;
+    config.gcsPerTenant = 1;
+    return config;
+}
+
+std::vector<driver::TenantParams>
+fleetTestTenants()
+{
+    std::vector<driver::TenantParams> tenants(3);
+    for (unsigned t = 0; t < tenants.size(); ++t) {
+        auto &tenant = tenants[t];
+        tenant.name = "t" + std::to_string(t);
+        tenant.graph = testGraph(700 + t, 300);
+        tenant.gcPeriodCycles = 150'000;
+        tenant.seed = 40 + t;
+    }
+    return tenants;
+}
+
+TEST(Checkpoint, FleetMidServiceRoundTrip)
+{
+    const std::string path = tmpPath("fleet-roundtrip.ckpt");
+    const auto config = fleetTestConfig();
+    const auto tenants = fleetTestTenants();
+
+    FleetFinal ref;
+    {
+        telemetry::StatsRegistry::global().clearRetired();
+        driver::FleetLab whole(config, tenants);
+        whole.run();
+        ref = fleetFinal(whole);
+    }
+    ASSERT_EQ(ref.totalGcs, 3u);
+
+    Tick ckpt_at = 0;
+    {
+        // Writing the checkpoint must not perturb the writer's run.
+        telemetry::StatsRegistry::global().clearRetired();
+        driver::FleetLab writer(config, tenants);
+        writer.runUntilCycle(200'000);
+        ASSERT_FALSE(writer.done()) << "checkpoint after the service "
+                                       "horizon tests nothing";
+        ckpt_at = writer.now();
+        ASSERT_TRUE(writer.writeCheckpoint(path));
+        writer.run();
+        expectSameFleetFinal(ref, fleetFinal(writer));
+    }
+    {
+        telemetry::StatsRegistry::global().clearRetired();
+        driver::FleetLab restored(config, tenants);
+        restored.restoreCheckpoint(path);
+        EXPECT_EQ(restored.now(), ckpt_at);
+        restored.run();
+        expectSameFleetFinal(ref, fleetFinal(restored));
+    }
 }
 
 // ---------------------------------------------------------------------

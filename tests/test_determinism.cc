@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "driver/fleet.h"
 #include "driver/gc_lab.h"
 #include "sim/telemetry.h"
 
@@ -114,7 +115,8 @@ TEST(Determinism, SharedCacheRunsAreReproducible)
 std::string
 normalizeInstanceIds(std::string s)
 {
-    for (const char *key : {"system.hwgc", "system.cpu"}) {
+    for (const char *key :
+         {"system.hwgc", "system.cpu", "system.fleet"}) {
         const std::size_t klen = std::strlen(key);
         std::size_t pos = 0;
         while ((pos = s.find(key, pos)) != std::string::npos) {
@@ -259,6 +261,85 @@ TEST(KernelMatrix, TibLayout)
     core::HwgcConfig config;
     config.layout = runtime::Layout::Tib;
     expectKernelMatrixAgrees(config);
+}
+
+// ---------------------------------------------------------------------
+// Fleet shape: two devices sharing one DRAM + interconnect, serving
+// multiple tenant heaps through the quantum-gridded service loop.
+// tests/test_fleet.cc owns the full fleet matrix; this case keeps a
+// compact shared-DRAM fleet inside the tier-1 determinism suite.
+// ---------------------------------------------------------------------
+
+/** A whole fleet run folded down to everything that must match. */
+struct FleetMatrixResult
+{
+    Tick finalCycle = 0;
+    std::uint64_t totalGcs = 0;
+    std::vector<std::uint64_t> perTenant; //!< gcs/stw/queue triples.
+    std::string statsJson;
+};
+
+FleetMatrixResult
+fleetMatrixRun(KernelMode kernel, unsigned threads)
+{
+    driver::FleetConfig config;
+    config.devices = 2;
+    config.gcsPerTenant = 1;
+    config.hwgc.kernel = kernel;
+    config.hwgc.hostThreads = threads;
+
+    std::vector<driver::TenantParams> tenants(3);
+    for (unsigned t = 0; t < tenants.size(); ++t) {
+        auto &tenant = tenants[t];
+        tenant.name = "t" + std::to_string(t);
+        tenant.graph = workload::smokeProfile().graph;
+        tenant.graph.seed = 500 + t;
+        tenant.gcPeriodCycles = 150'000;
+        tenant.seed = 20 + t;
+    }
+
+    telemetry::StatsRegistry::global().clearRetired();
+    FleetMatrixResult r;
+    {
+        driver::FleetLab lab(config, tenants);
+        lab.run();
+        r.finalCycle = lab.now();
+        r.totalGcs = lab.totalGcs();
+        for (const auto &stats : lab.stats()) {
+            r.perTenant.push_back(stats.gcs);
+            r.perTenant.push_back(stats.stwCycles);
+            r.perTenant.push_back(stats.queueCycles);
+        }
+        std::ostringstream os;
+        telemetry::StatsRegistry::global().exportJson(os, {});
+        r.statsJson = normalizeInstanceIds(os.str());
+    } // Scoped: a live lab would leak its groups into later exports.
+    return r;
+}
+
+TEST(KernelMatrix, FleetTwoDevicesSharedDram)
+{
+    const auto ref = fleetMatrixRun(KernelMode::Dense, 0);
+    EXPECT_EQ(ref.totalGcs, 3u);
+    struct Case
+    {
+        const char *name;
+        KernelMode kernel;
+        unsigned threads;
+    };
+    static constexpr Case cases[] = {
+        {"event", KernelMode::Event, 0},
+        {"parallel-2", KernelMode::ParallelBsp, 2},
+        {"parallel-7", KernelMode::ParallelBsp, 7},
+    };
+    for (const auto &c : cases) {
+        SCOPED_TRACE(c.name);
+        const auto run = fleetMatrixRun(c.kernel, c.threads);
+        EXPECT_EQ(ref.finalCycle, run.finalCycle);
+        EXPECT_EQ(ref.totalGcs, run.totalGcs);
+        EXPECT_EQ(ref.perTenant, run.perTenant);
+        expectSameStatsJson(ref.statsJson, run.statsJson);
+    }
 }
 
 // ---------------------------------------------------------------------

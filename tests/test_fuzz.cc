@@ -196,6 +196,24 @@ TEST(FuzzConfigSpec, RejectsUnknownKeysAndBadValues)
     EXPECT_FALSE(fuzz::applyConfigSpec(config, "mq", &err));
 }
 
+TEST(FuzzConfigSpec, DevicesAxisBuildsFleetShapes)
+{
+    core::HwgcConfig config;
+    std::string err;
+    ASSERT_TRUE(fuzz::applyConfigSpec(config, "devices=2", &err)) << err;
+    EXPECT_EQ(config.devices, 2u);
+    // Zero devices is not a shape; the key is rejected wholesale.
+    EXPECT_FALSE(fuzz::applyConfigSpec(config, "devices=0", &err));
+    EXPECT_NE(err.find("devices"), std::string::npos) << err;
+    // The thorough grid carries a fleet point.
+    bool fleet_point = false;
+    for (const fuzz::ConfigPoint &point : fuzz::fullGrid()) {
+        fleet_point = fleet_point ||
+            point.spec.find("devices=") != std::string::npos;
+    }
+    EXPECT_TRUE(fleet_point);
+}
+
 TEST(FuzzConfigSpec, KernelCaseNames)
 {
     fuzz::KernelCase kc;
@@ -233,6 +251,22 @@ TEST(FuzzDiffer, EveryShapeFamilyIsGreen)
         const fuzz::FuzzResult result = fuzz::runSchedule(s);
         EXPECT_TRUE(result.ok) << result.error;
     }
+}
+
+TEST(FuzzDiffer, FleetShapeMatrixIsGreen)
+{
+    // Two devices behind a shared bus + memory, collections alternating
+    // across the array. Cycle digests must agree across every kernel
+    // leg and the functional digests must match the single-device
+    // baseline config exactly (cross-config comparison inside the run).
+    fuzz::FuzzOptions options;
+    options.grid = {{"baseline-ideal", "mem=ideal"},
+                    {"fleet2-ideal", "devices=2,mem=ideal"}};
+    const fuzz::FuzzResult result =
+        fuzz::runSchedule(smallSchedule(21), options);
+    EXPECT_TRUE(result.ok) << result.error;
+    // 2 collects x 2 configs x 4 kernel legs.
+    EXPECT_EQ(result.collectsRun, 16u);
 }
 
 // ---------------------------------------------------------------------

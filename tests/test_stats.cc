@@ -447,5 +447,102 @@ TEST(StatsJson, IntervalSnapshotsRecordNonZeroDeltasOnly)
     registry.clearRetired();
 }
 
+// ---------------------------------------------------------------------
+// Device churn: fleet mode registers and retires "system.hwgcN" style
+// groups over and over as devices context-switch between tenants.
+// ---------------------------------------------------------------------
+
+TEST(StatsJson, DeviceChurnDoesNotLeakRetiredTwins)
+{
+    auto &registry = telemetry::StatsRegistry::global();
+
+    stats::Scalar first_ctr("requests");
+    stats::Group first("gen1");
+    first.add(&first_ctr);
+    first_ctr += 111;
+    const std::string path = registry.add("test.churn.dev", &first);
+    EXPECT_EQ(path, "test.churn.dev");
+    registry.remove(path);
+
+    // The slot's next occupant supersedes the retired values: the
+    // export must carry exactly one group at this path (the live
+    // one), not an ever-growing stack of "#N" twins.
+    stats::Scalar second_ctr("requests");
+    stats::Group second("gen2");
+    second.add(&second_ctr);
+    second_ctr += 7;
+    const std::string path2 = registry.add("test.churn.dev", &second);
+    EXPECT_EQ(path2, path);
+
+    telemetry::RunMetadata meta;
+    std::ostringstream os;
+    registry.exportJson(os, meta);
+    const Json root = JsonParser(os.str()).parse();
+    ASSERT_TRUE(root.at("groups").has(path));
+    EXPECT_FALSE(root.at("groups").has(path + "#1"));
+    EXPECT_DOUBLE_EQ(
+        root.at("groups").at(path).at("scalars").at("requests").number,
+        7.0);
+
+    registry.remove(path2);
+    registry.clearRetired();
+}
+
+TEST(StatsJson, ReRegistrationStartsIntervalDeltasFresh)
+{
+    auto &registry = telemetry::StatsRegistry::global();
+    registry.clearSnapshots();
+
+    stats::Scalar first_ctr("requests");
+    stats::Group first("gen1");
+    first.add(&first_ctr);
+    const std::string path = registry.add("test.churn.delta", &first);
+    first_ctr += 100;
+    registry.snapshot(1000);
+    registry.remove(path);
+
+    // The new occupant's counter starts far below the dead one's
+    // running total; its first delta must be its own +3, not the
+    // -97 the stale baseline used to produce.
+    stats::Scalar second_ctr("requests");
+    stats::Group second("gen2");
+    second.add(&second_ctr);
+    ASSERT_EQ(registry.add("test.churn.delta", &second), path);
+    second_ctr += 3;
+    registry.snapshot(2000);
+
+    telemetry::RunMetadata meta;
+    std::ostringstream os;
+    registry.exportJson(os, meta);
+    const Json root = JsonParser(os.str()).parse();
+    const auto &rows = root.at("intervals").items;
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        rows[0].at("deltas").at(path + ".requests").number, 100.0);
+    EXPECT_DOUBLE_EQ(
+        rows[1].at("deltas").at(path + ".requests").number, 3.0);
+
+    registry.remove(path);
+    registry.clearRetired();
+    registry.clearSnapshots();
+}
+
+TEST(StatsRegistry, IndexedPrefixPinsTheSlotAndBumpsTheCounter)
+{
+    auto &registry = telemetry::StatsRegistry::global();
+    // Restore pins a device to the index the image was saved under...
+    EXPECT_EQ(registry.indexedPrefix("test.churn.idx", 5),
+              "test.churn.idx5");
+    // ...and later fresh devices must not be handed the same slot.
+    EXPECT_EQ(registry.uniquePrefix("test.churn.idx"),
+              "test.churn.idx6");
+    // Re-pinning a low index is stable and does not rewind the
+    // counter.
+    EXPECT_EQ(registry.indexedPrefix("test.churn.idx", 2),
+              "test.churn.idx2");
+    EXPECT_EQ(registry.uniquePrefix("test.churn.idx"),
+              "test.churn.idx7");
+}
+
 } // namespace
 } // namespace hwgc
