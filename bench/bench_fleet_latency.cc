@@ -168,11 +168,16 @@ main(int argc, char **argv)
 
     unsigned devices = 2, tenants = 8, gcs = 5;
     std::uint64_t queries = 250'000;
-    std::string policy_name = "all", kernel_name = "event";
+    // --kernel= is a global telemetry flag (Session consumed it from
+    // argv already); the fleet SoC builds its devices around a shared
+    // System, so the name is applied to every device config here.
+    std::string policy_name = "all";
+    std::string kernel_name = telemetry::options().kernel.empty()
+                                  ? "event"
+                                  : telemetry::options().kernel;
     for (int i = 1; i < argc; ++i) {
         std::string value;
-        if (argValue(argv[i], "--gc-policy=", policy_name) ||
-            argValue(argv[i], "--kernel=", kernel_name)) {
+        if (argValue(argv[i], "--gc-policy=", policy_name)) {
             continue;
         }
         if (argValue(argv[i], "--devices=", value)) {

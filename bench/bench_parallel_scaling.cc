@@ -1,0 +1,284 @@
+/**
+ * @file
+ * ParallelBsp scaling sweep: threads x partition-scheme x workload.
+ *
+ * For each workload the event kernel sets the single-thread baseline,
+ * then the parallel kernel runs every combination of host thread
+ * count {1, 2, 4} and partition scheme {legacy, fine, cost}. Every
+ * run must produce the same simulated cycle count and mark total as
+ * the event baseline (the kernels are bit-identical by contract), so
+ * the host wall clock is the only thing the sweep varies.
+ *
+ * Beyond cycles-per-host-second, the sweep records the superstep
+ * counters that attribute where the parallel kernel's overhead goes:
+ * fan-out/join rounds (barriers), batched cycles (cycles executed
+ * without a commit round under the no-staged-events proof), staged
+ * cross-partition events (ring traffic), and worker handshakes.
+ * All of those are deterministic, so they land in the canonical
+ * BENCH_parallel_scaling.json record and scripts/bench_compare.py
+ * diffs them exactly against bench/baseline/ — a change to the
+ * dispatch or batching logic shows up in review as a readable diff
+ * of superstep counts, not just a wall-clock blur.
+ *
+ * --min-speedup=T:R exits nonzero unless, at T threads, the best
+ * scheme reaches at least R x the event kernel's throughput on at
+ * least one workload. CI uses this as the scaling smoke; it is off
+ * by default because a loaded single-core host cannot honestly pass.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/hwgc_device.h"
+#include "runtime/heap.h"
+#include "workload/graph_gen.h"
+
+namespace
+{
+
+using namespace hwgc;
+
+struct Run
+{
+    double hostSeconds = 0.0;
+    Tick simCycles = 0;
+    std::uint64_t marked = 0;
+    std::uint64_t supersteps = 0;
+    std::uint64_t batchedCycles = 0;
+    std::uint64_t stagedEvents = 0;
+    std::uint64_t handshakes = 0;
+};
+
+Run
+runOne(const workload::GraphParams &graph, KernelMode kernel,
+       unsigned threads, const char *scheme)
+{
+    mem::PhysMem mem;
+    runtime::Heap heap(mem);
+    workload::GraphBuilder builder(heap, graph);
+    builder.build();
+    heap.clearAllMarks();
+    heap.publishRoots();
+    core::HwgcConfig config;
+    config.kernel = kernel;
+    config.hostThreads = threads;
+    config.hostPartition = scheme;
+    core::HwgcDevice device(mem, heap.pageTable(), config);
+    device.configure(heap);
+    bench::HostTimer timer;
+    const core::HwPhaseResult result = device.collect();
+    Run r;
+    r.hostSeconds = timer.seconds();
+    r.simCycles = result.cycles;
+    r.marked = result.objectsMarked;
+    r.supersteps = device.system().bspSupersteps();
+    r.batchedCycles = device.system().bspBatchedCycles();
+    r.stagedEvents = device.system().bspStagedEvents();
+    r.handshakes = device.system().bspHandshakes();
+    return r;
+}
+
+Run
+bestOf(const workload::GraphParams &graph, KernelMode kernel,
+       unsigned threads, const char *scheme, int reps)
+{
+    Run best = runOne(graph, kernel, threads, scheme);
+    for (int i = 1; i < reps; ++i) {
+        const Run r = runOne(graph, kernel, threads, scheme);
+        fatal_if(r.simCycles != best.simCycles ||
+                     r.marked != best.marked,
+                 "bench_parallel_scaling: nondeterministic rerun "
+                 "(%s, %u threads)",
+                 scheme, threads);
+        if (r.hostSeconds < best.hostSeconds) {
+            best = r;
+        }
+    }
+    return best;
+}
+
+struct SchemeDef
+{
+    const char *spec;  //!< --host-partition= value.
+    const char *label; //!< Metric/report name.
+};
+
+constexpr SchemeDef kSchemes[] = {
+    {"", "legacy"},
+    {"fine", "fine"},
+    {"cost", "cost"},
+};
+
+constexpr unsigned kThreads[] = {1, 2, 4};
+
+/**
+ * Runs one workload through the full sweep. Returns, indexed by
+ * position in kThreads, the best event-relative speedup any scheme
+ * reached at that thread count.
+ */
+std::vector<double>
+runWorkload(const char *name, const workload::GraphParams &graph,
+            bench::BenchRecord &record)
+{
+    const std::string label =
+        std::string("bench_parallel_scaling/") + name;
+    const Run event = bestOf(graph, KernelMode::Event, 0, "", 2);
+    record.metric(std::string(name) + ".sim_cycles",
+                  std::uint64_t(event.simCycles));
+    record.metric(std::string(name) + ".marked", event.marked);
+    bench::printKernelSpeed(label.c_str(), "event", event.hostSeconds,
+                            double(event.simCycles));
+
+    std::vector<double> best(std::size(kThreads), 0.0);
+    for (const SchemeDef &scheme : kSchemes) {
+        // The dispatch/batching counters depend only on the partition
+        // scheme, never on the worker count: the commit thread decides
+        // what runs each superstep before any work is handed out.
+        // The sweep checks that invariant instead of assuming it.
+        std::uint64_t supersteps = 0;
+        std::uint64_t batched = 0;
+        std::uint64_t staged = 0;
+        bool first = true;
+        for (std::size_t t = 0; t < std::size(kThreads); ++t) {
+            const unsigned threads = kThreads[t];
+            const Run r = bestOf(graph, KernelMode::ParallelBsp,
+                                 threads, scheme.spec, 2);
+            fatal_if(r.simCycles != event.simCycles ||
+                         r.marked != event.marked,
+                     "bench_parallel_scaling: %s/%s@%u diverged from "
+                     "event kernel (%llu vs %llu cycles)",
+                     name, scheme.label, threads,
+                     (unsigned long long)r.simCycles,
+                     (unsigned long long)event.simCycles);
+            if (first) {
+                supersteps = r.supersteps;
+                batched = r.batchedCycles;
+                staged = r.stagedEvents;
+                first = false;
+            } else {
+                fatal_if(r.supersteps != supersteps ||
+                             r.batchedCycles != batched ||
+                             r.stagedEvents != staged,
+                         "bench_parallel_scaling: %s/%s dispatch "
+                         "counters vary with thread count",
+                         name, scheme.label);
+            }
+            const std::string kern =
+                std::string("parallel-") + scheme.label;
+            bench::printKernelSpeed(label.c_str(), kern.c_str(),
+                                    r.hostSeconds,
+                                    double(r.simCycles), threads);
+            std::printf("%s: %s@%u handshakes %llu\n", label.c_str(),
+                        scheme.label, threads,
+                        (unsigned long long)r.handshakes);
+            record.metric(std::string(name) + "." + scheme.label +
+                              ".handshakes.t" +
+                              std::to_string(threads),
+                          r.handshakes);
+            const double speedup = event.hostSeconds / r.hostSeconds;
+            if (speedup > best[t]) {
+                best[t] = speedup;
+            }
+        }
+        const std::string key =
+            std::string(name) + "." + scheme.label;
+        record.metric(key + ".supersteps", supersteps);
+        record.metric(key + ".batched_cycles", batched);
+        record.metric(key + ".staged_events", staged);
+        std::printf("%s: %s supersteps %llu, batched cycles %llu "
+                    "(%.1f%% of %llu executed), staged events %llu\n",
+                    label.c_str(), scheme.label,
+                    (unsigned long long)supersteps,
+                    (unsigned long long)batched,
+                    100.0 * double(batched) /
+                        double(event.simCycles ? event.simCycles : 1),
+                    (unsigned long long)event.simCycles,
+                    (unsigned long long)staged);
+    }
+    for (std::size_t t = 0; t < std::size(kThreads); ++t) {
+        std::printf("%s: best parallel@%u speedup vs event: %.2fx\n",
+                    label.c_str(), kThreads[t], best[t]);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    hwgc::telemetry::Session session(argc, argv);
+    unsigned assertThreads = 0;
+    double assertRatio = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+            if (std::sscanf(argv[i] + 14, "%u:%lf", &assertThreads,
+                            &assertRatio) != 2) {
+                std::fprintf(stderr,
+                             "usage: --min-speedup=THREADS:RATIO\n");
+                return 2;
+            }
+        }
+    }
+
+    bench::banner("parallel-kernel scaling sweep",
+                  "threads x partition scheme x workload; "
+                  "cycles are checked identical across all runs");
+    std::printf("host cores: %u\n",
+                std::thread::hardware_concurrency());
+
+    bench::BenchRecord record("parallel_scaling");
+    bench::HostTimer suite_timer;
+
+    // Wide mark-dominated graph: the Fig 15 shape, enough MLP that
+    // every unit has work each cycle.
+    workload::GraphParams wide;
+    wide.liveObjects = 30000;
+    wide.garbageObjects = 15000;
+    wide.numRoots = 32;
+    wide.seed = 13;
+    const std::vector<double> wideBest =
+        runWorkload("wide", wide, record);
+
+    // Large heap: the parallel kernel's target shape — enough live
+    // work per simulated cycle to amortize the fan-out/join cost
+    // (same shape as bench_micro/large-heap).
+    workload::GraphParams large;
+    large.liveObjects = 120000;
+    large.garbageObjects = 60000;
+    large.numRoots = 64;
+    large.seed = 29;
+    const std::vector<double> largeBest =
+        runWorkload("large-heap", large, record);
+
+    record.write(suite_timer.seconds());
+
+    if (assertThreads != 0) {
+        double best = 0.0;
+        for (std::size_t t = 0; t < std::size(kThreads); ++t) {
+            if (kThreads[t] == assertThreads) {
+                best = std::max(wideBest[t], largeBest[t]);
+            }
+        }
+        if (best < assertRatio) {
+            std::fprintf(stderr,
+                         "parallel scaling smoke FAILED: best "
+                         "parallel@%u speedup %.2fx < required "
+                         "%.2fx\n",
+                         assertThreads, best, assertRatio);
+            return 1;
+        }
+        std::printf("parallel scaling smoke passed: parallel@%u "
+                    "best %.2fx >= %.2fx\n",
+                    assertThreads, best, assertRatio);
+    }
+    return 0;
+}

@@ -11,6 +11,8 @@
 
 #include "block_sweeper.h"
 
+#include <algorithm>
+
 #include "runtime/block_table.h"
 #include "runtime/heap_layout.h"
 #include "runtime/object_model.h"
@@ -29,25 +31,61 @@ BlockSweeper::BlockSweeper(std::string name, const HwgcConfig &config,
       tlb_(this->name() + ".tlb", config.sweeperTlbEntries)
 {
     panic_if(port_ == nullptr, "sweeper needs a memory port");
+    hasBspHooks_ = true;
+    stagedAssign_.reserve(1);
+    ptwPort_ = ptw_.registerRequester(this, this->name());
 }
 
 bool
 BlockSweeper::idle() const
 {
-    return !active_;
+    if (bspStagingActive()) {
+        // Foreign-partition view (the dispatcher): last cycle's
+        // published state minus what the dispatcher itself staged this
+        // cycle — the same answer the serial dispatcher-before-sweeper
+        // tick order produces.
+        return publishedIdle_ && stagedAssign_.empty();
+    }
+    return !active_ && !inboxValid_;
+}
+
+bool
+BlockSweeper::drained() const
+{
+    if (bspStagingActive()) {
+        return publishedDrained_ && stagedAssign_.empty();
+    }
+    return !active_ && !inboxValid_ && writesInFlight_ == 0;
 }
 
 void
-BlockSweeper::assign(const SweepJob &job)
+BlockSweeper::assign(const SweepJob &job, Tick now)
 {
-    pokeWakeup(); // Assigned work restarts the state machine.
-    panic_if(active_, "sweeper double assignment");
+    panic_if(!idle(), "sweeper double assignment");
     panic_if(job.cellBytes == 0 || job.cellBytes > runtime::blockBytes,
              "bad cell size %u", job.cellBytes);
-    job_ = job;
+    pokeWakeup(); // Assigned work restarts the state machine.
+    if (bspStagingActive()) {
+        panic_if(!stagedAssign_.push({job, now}),
+                 "sweeper '%s': assign staging ring overflow",
+                 name().c_str());
+        detail::noteStagedEvent();
+        return;
+    }
+    inboxJob_ = job;
+    inboxAt_ = now;
+    inboxValid_ = true;
+}
+
+void
+BlockSweeper::activate()
+{
+    panic_if(active_, "sweeper activated while active");
+    job_ = inboxJob_;
+    inboxValid_ = false;
     active_ = true;
     cellIndex_ = 0;
-    numCells_ = runtime::blockBytes / job.cellBytes;
+    numCells_ = runtime::blockBytes / job_.cellBytes;
     step_ = Step::CellStartWord;
     freeHead_ = prevFree_ = 0;
     freeCells_ = 0;
@@ -57,8 +95,30 @@ BlockSweeper::assign(const SweepJob &job)
     }
 }
 
+void
+BlockSweeper::bspCommit(Tick now)
+{
+    (void)now;
+    StagedAssign sa;
+    while (stagedAssign_.pop(sa)) {
+        pokeWakeup();
+        panic_if(active_ || inboxValid_,
+                 "sweeper staged double assignment");
+        inboxJob_ = sa.job;
+        inboxAt_ = sa.at;
+        inboxValid_ = true;
+    }
+}
+
+void
+BlockSweeper::bspPublish()
+{
+    publishedIdle_ = !active_ && !inboxValid_;
+    publishedDrained_ = publishedIdle_ && writesInFlight_ == 0;
+}
+
 std::optional<Addr>
-BlockSweeper::translate(Addr va)
+BlockSweeper::translate(Addr va, Tick now)
 {
     if (walkPending_) {
         return std::nullopt; // Blocked on the PTW; don't re-probe.
@@ -66,9 +126,9 @@ BlockSweeper::translate(Addr va)
     if (const auto pa = tlb_.lookup(va)) {
         return *pa;
     }
-    if (ptw_.canRequest()) {
+    if (ptw_.canRequest(ptwPort_)) {
         walkPending_ = true;
-        ptw_.requestWalk(va, walkCallback(), name());
+        ptw_.requestWalk(ptwPort_, va, now, walkCallback());
     }
     return std::nullopt;
 }
@@ -97,7 +157,7 @@ BlockSweeper::readWord(Addr va, Tick now)
     if (lineFillPending_) {
         return std::nullopt; // One outstanding fill at a time.
     }
-    const auto pa = translate(line_va);
+    const auto pa = translate(line_va, now);
     if (!pa) {
         return std::nullopt;
     }
@@ -118,7 +178,7 @@ BlockSweeper::readWord(Addr va, Tick now)
 bool
 BlockSweeper::writeWord(Addr va, Word value, Tick now)
 {
-    const auto pa = translate(va);
+    const auto pa = translate(va, now);
     if (!pa) {
         return false;
     }
@@ -178,7 +238,7 @@ BlockSweeper::finishBlock(Tick now)
 
     // Head + summary as one aligned 16-byte store (entry words 2..3).
     const Addr dest = job_.entryVa + 2 * wordBytes;
-    const auto pa = translate(dest);
+    const auto pa = translate(dest, now);
     if (!pa) {
         return;
     }
@@ -200,6 +260,9 @@ BlockSweeper::finishBlock(Tick now)
 void
 BlockSweeper::tick(Tick now)
 {
+    if (inboxValid_ && now > inboxAt_) {
+        activate(); // The one-cycle dispatch latch expired.
+    }
     if (!active_) {
         return;
     }
@@ -274,6 +337,10 @@ Tick
 BlockSweeper::nextWakeup(Tick now) const
 {
     if (!active_) {
+        if (inboxValid_) {
+            // The latched job activates the cycle after dispatch.
+            return std::max(inboxAt_ + 1, now);
+        }
         return maxTick; // Write acks arrive via onResponse.
     }
     if (walkPending_ || lineFillPending_) {
@@ -291,6 +358,9 @@ BlockSweeper::cycleClass(Tick now) const
 {
     (void)now;
     if (!active_) {
+        if (inboxValid_) {
+            return CycleClass::Busy; // Latched dispatch activating.
+        }
         if (writesInFlight_ != 0) {
             return CycleClass::StallDram; // Write acks draining.
         }
@@ -315,10 +385,18 @@ BlockSweeper::cycleClass(Tick now) const
 void
 BlockSweeper::save(checkpoint::Serializer &ser) const
 {
+    panic_if(!stagedAssign_.empty(),
+             "sweeper '%s': checkpoint with a staged assign",
+             name().c_str());
     ser.putBool(active_);
     ser.putU64(job_.entryVa);
     ser.putU64(job_.baseVa);
     ser.putU64(job_.cellBytes);
+    ser.putBool(inboxValid_);
+    ser.putU64(inboxAt_);
+    ser.putU64(inboxJob_.entryVa);
+    ser.putU64(inboxJob_.baseVa);
+    ser.putU64(inboxJob_.cellBytes);
     ser.putU64(cellIndex_);
     ser.putU64(numCells_);
     ser.putU64(std::uint64_t(step_));
@@ -356,6 +434,11 @@ BlockSweeper::restore(checkpoint::Deserializer &des)
     job_.entryVa = des.getU64();
     job_.baseVa = des.getU64();
     job_.cellBytes = std::uint32_t(des.getU64());
+    inboxValid_ = des.getBool();
+    inboxAt_ = des.getU64();
+    inboxJob_.entryVa = des.getU64();
+    inboxJob_.baseVa = des.getU64();
+    inboxJob_.cellBytes = std::uint32_t(des.getU64());
     cellIndex_ = des.getU64();
     numCells_ = des.getU64();
     step_ = Step(des.getU64());
@@ -384,6 +467,7 @@ BlockSweeper::restore(checkpoint::Deserializer &des)
     checkpoint::getStat(des, freed_);
     checkpoint::getStat(des, lineFetches_);
     tlb_.restore(des);
+    bspPublish(); // Rebuild the foreign-partition snapshot.
 }
 
 void

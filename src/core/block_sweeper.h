@@ -21,6 +21,7 @@
 #include "core/hwgc_config.h"
 #include "mem/ptw.h"
 #include "mem/tlb.h"
+#include "sim/spsc_ring.h"
 #include "sim/stats.h"
 
 namespace hwgc::core
@@ -45,10 +46,16 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     bool idle() const;
 
     /** True when idle and all issued writes have been acknowledged. */
-    bool drained() const { return idle() && writesInFlight_ == 0; }
+    bool drained() const;
 
-    /** Assigns a block; the sweeper must be idle. */
-    void assign(const SweepJob &job);
+    /**
+     * Assigns a block at cycle @p now; the sweeper must be idle. The
+     * job sits in a one-entry dispatch inbox for one cycle before the
+     * state machine picks it up — the latch that lets the dispatcher
+     * and the sweeper live in different ParallelBsp partitions without
+     * changing a single simulated cycle.
+     */
+    void assign(const SweepJob &job, Tick now);
 
     /**
      * Names the component that feeds this sweeper jobs (the
@@ -66,6 +73,8 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     bool busy() const override { return !drained(); }
     Tick nextWakeup(Tick now) const override;
     CycleClass cycleClass(Tick now) const override;
+    void bspCommit(Tick now) override;
+    void bspPublish() override;
     void save(checkpoint::Serializer &ser) const override;
     void restore(checkpoint::Deserializer &des) override;
 
@@ -115,11 +124,22 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     /** Finishes the block: final link, free head, summary. */
     void finishBlock(Tick now);
 
-    std::optional<Addr> translate(Addr va);
+    std::optional<Addr> translate(Addr va, Tick now);
+
+    /** Moves the latched inbox job into the state machine. */
+    void activate();
+
+    /** An assign staged by a foreign-partition dispatcher. */
+    struct StagedAssign
+    {
+        SweepJob job;
+        Tick at = 0;
+    };
 
     HwgcConfig config_;
     mem::MemPort *port_;
     mem::Ptw &ptw_;
+    unsigned ptwPort_ = 0; //!< Our requester port on the shared PTW.
     mem::TlbArray tlb_;
     const Clocked *upstream_ = nullptr; //!< Job source (profiling).
 
@@ -128,6 +148,17 @@ class BlockSweeper : public Clocked, public mem::MemResponder
     SweepJob job_;
     std::uint64_t cellIndex_ = 0;
     std::uint64_t numCells_ = 0;
+
+    // Dispatch inbox (the one-cycle assign latch) and its ParallelBsp
+    // staging: the dispatcher is the only producer, so a one-entry
+    // SPSC ring plus published idle/drained snapshots reproduce the
+    // serial dispatcher-before-sweeper read order exactly.
+    bool inboxValid_ = false;
+    Tick inboxAt_ = 0;
+    SweepJob inboxJob_;
+    SpscRing<StagedAssign> stagedAssign_;
+    bool publishedIdle_ = true;
+    bool publishedDrained_ = true;
 
     enum class Step : std::uint8_t
     {

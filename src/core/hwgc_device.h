@@ -305,15 +305,27 @@ class HwgcDevice
      *  attaches the kernel observer when telemetry is active. */
     void registerTelemetry();
 
-    /** ParallelBsp wiring: affinity partitions, --host-partition=
-     *  override, cohesion validation, worker-thread resolution. */
+    /** ParallelBsp wiring: partition-scheme resolution ("", "fine",
+     *  "cost" or explicit name=P), atom-cohesion validation,
+     *  worker-thread and superstep-cap resolution. */
     void configurePartitions();
+
+    /** Feeds the cost sampler's measurements into the kernel's LPT
+     *  re-pack at the end of a warm-up phase (--host-partition=cost);
+     *  after the sweep-phase rebalance the sampler detaches. */
+    void rebalanceFromSampler(bool final_phase);
 
     std::string statsPrefix_;
     std::vector<std::unique_ptr<stats::Group>> statGroups_;
     std::vector<std::string> statPaths_;
     std::unique_ptr<telemetry::SystemTracer> sysTracer_;
     std::unique_ptr<telemetry::CycleProfiler> profiler_;
+
+    /** @name Cost-model partitioning (--host-partition=cost) @{ */
+    bool costPartition_ = false;      //!< Scheme "cost" selected.
+    std::unique_ptr<KernelObserver> costSampler_; //!< Warm-up counts.
+    bool costMarkRebalanced_ = false; //!< First-mark re-pack done.
+    /** @} */
 
     /** @name Armed checkpoint output (see armCheckpoint()) @{ */
     std::string checkpointOut_;

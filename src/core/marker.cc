@@ -27,6 +27,7 @@ Marker::Marker(std::string name, const HwgcConfig &config,
     hasFastForward_ = true; // Accrues tlbMissStalls over skipped spans.
     panic_if(port_ == nullptr, "marker needs a memory port");
     panic_if(config_.markerSlots == 0, "marker needs request slots");
+    ptwPort_ = ptw_.registerRequester(this, this->name());
 }
 
 bool
@@ -243,11 +244,11 @@ Marker::tick(Tick now)
     for (std::size_t i = 0; i < waiters_.size(); ++i) {
         WalkWaiter &waiter = waiters_[i];
         if (!waiter.valid || waiter.walkRequested || waiter.ready ||
-            !ptw_.canRequest()) {
+            !ptw_.canRequest(ptwPort_)) {
             continue;
         }
         waiter.walkRequested = true;
-        ptw_.requestWalk(waiter.ref, walkCallback(i), name(), i);
+        ptw_.requestWalk(ptwPort_, waiter.ref, now, walkCallback(i), i);
     }
 
     issue(now);
@@ -289,7 +290,7 @@ Marker::nextWakeup(Tick now) const
             }
             continue; // Blocked on a slot or the port.
         }
-        if (!waiter.walkRequested && ptw_.canRequest()) {
+        if (!waiter.walkRequested && ptw_.canRequest(ptwPort_)) {
             return now; // A walk can be launched.
         }
     }

@@ -216,6 +216,7 @@ class Marker : public Clocked, public mem::MemResponder
     TraceQueue &traceQueue_;
     mem::MemPort *port_;
     mem::Ptw &ptw_;
+    unsigned ptwPort_ = 0; //!< Our requester port on the shared PTW.
     mem::TlbArray tlb_;
     MarkBitCache markBitCache_;
 

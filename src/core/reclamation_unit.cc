@@ -33,6 +33,7 @@ ReclamationUnit::ReclamationUnit(std::string name,
         // cycle profiler uses the edge to tell starvation from idle.
         sweepers_.back()->setUpstream(this);
     }
+    ptwPort_ = ptw_.registerRequester(this, this->name());
 }
 
 void
@@ -81,7 +82,7 @@ ReclamationUnit::tick(Tick now)
     if (entryReady_) {
         for (auto &sweeper : sweepers_) {
             if (sweeper->idle()) {
-                sweeper->assign(pendingJob_);
+                sweeper->assign(pendingJob_, now);
                 entryReady_ = false;
                 ++nextBlock_;
                 ++dispatched_;
@@ -109,9 +110,9 @@ ReclamationUnit::tick(Tick now)
     const Addr entry_va = BlockTableEntry::addr(tableVa_, nextBlock_);
     std::optional<Addr> pa = readerTlb_.lookup(entry_va);
     if (!pa) {
-        if (ptw_.canRequest()) {
+        if (ptw_.canRequest(ptwPort_)) {
             walkPending_ = true;
-            ptw_.requestWalk(entry_va, walkCallback(), name());
+            ptw_.requestWalk(ptwPort_, entry_va, now, walkCallback());
         }
         return;
     }

@@ -74,6 +74,7 @@ class ReclamationUnit : public Clocked, public mem::MemResponder
     HwgcConfig config_;
     mem::MemPort *readerPort_;
     mem::Ptw &ptw_;
+    unsigned ptwPort_ = 0; //!< Our requester port on the shared PTW.
     mem::TlbArray readerTlb_;
     std::vector<std::unique_ptr<BlockSweeper>> sweepers_;
 

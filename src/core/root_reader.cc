@@ -17,6 +17,7 @@ RootReader::RootReader(std::string name, const HwgcConfig &config,
       port_(port), ptw_(ptw), tlb_(this->name() + ".tlb", 4)
 {
     panic_if(port_ == nullptr, "root reader needs a memory port");
+    ptwPort_ = ptw_.registerRequester(this, this->name());
 }
 
 void
@@ -89,9 +90,9 @@ RootReader::tick(Tick now)
     // Translate the current page (blocking, via the shared PTW).
     std::optional<Addr> pa = tlb_.lookup(cursor_);
     if (!pa) {
-        if (ptw_.canRequest()) {
+        if (ptw_.canRequest(ptwPort_)) {
             walkPending_ = true;
-            ptw_.requestWalk(cursor_, walkCallback(), name());
+            ptw_.requestWalk(ptwPort_, cursor_, now, walkCallback());
         }
         return;
     }

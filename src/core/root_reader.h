@@ -84,6 +84,7 @@ class RootReader : public Clocked, public mem::MemResponder
     MarkQueue &markQueue_;
     mem::MemPort *port_;
     mem::Ptw &ptw_;
+    unsigned ptwPort_ = 0; //!< Our requester port on the shared PTW.
     mem::TlbArray tlb_;
 
     Addr base_ = 0;

@@ -21,6 +21,7 @@ Tracer::Tracer(std::string name, const HwgcConfig &config,
 {
     hasFastForward_ = true; // Accrues throttledCycles over skipped spans.
     panic_if(port_ == nullptr, "tracer needs a memory port");
+    ptwPort_ = ptw_.registerRequester(this, this->name());
 }
 
 unsigned
@@ -43,7 +44,7 @@ Tracer::idle() const
 }
 
 std::optional<Addr>
-Tracer::translate(Addr va)
+Tracer::translate(Addr va, Tick now)
 {
     if (walkDone_ && walkVa_ == alignDown(va, pageBytes)) {
         return walkPa_ + (va % pageBytes);
@@ -57,10 +58,10 @@ Tracer::translate(Addr va)
     if (const auto pa = tlb_.lookup(va)) {
         return *pa;
     }
-    if (ptw_.canRequest()) {
+    if (ptw_.canRequest(ptwPort_)) {
         walkPending_ = true;
         walkDone_ = false;
-        ptw_.requestWalk(va, walkCallback(), name());
+        ptw_.requestWalk(ptwPort_, va, now, walkCallback());
     }
     return std::nullopt;
 }
@@ -190,7 +191,7 @@ Tracer::issue(Tick now)
             return; // Dependent load: must wait for the pointer.
         }
         const Addr ptr_va = a.ref + wordBytes;
-        const auto pa = translate(ptr_va);
+        const auto pa = translate(ptr_va, now);
         if (!pa) {
             return;
         }
@@ -215,7 +216,7 @@ Tracer::issue(Tick now)
         if (a.awaitTibMeta) {
             return; // Dependent: offsets unknown until the TIB loads.
         }
-        const auto pa = translate(a.tibAddr);
+        const auto pa = translate(a.tibAddr, now);
         if (!pa) {
             return;
         }
@@ -242,7 +243,7 @@ Tracer::issue(Tick now)
         return;
     }
 
-    const auto pa = translate(a.cursor);
+    const auto pa = translate(a.cursor, now);
     if (!pa) {
         return; // Blocking TLB miss.
     }
@@ -256,7 +257,7 @@ Tracer::issue(Tick now)
         if (a.slotsIssued % 8 == 0 && a.nextOffsetGroup == group) {
             const Addr off_va =
                 a.tibAddr + wordBytes + Addr(group) * wordBytes;
-            const auto off_pa = translate(off_va);
+            const auto off_pa = translate(off_va, now);
             if (!off_pa) {
                 return;
             }

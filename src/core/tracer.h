@@ -128,7 +128,7 @@ class Tracer : public Clocked, public mem::MemResponder
 
     /** Translates @p va, stalling on the blocking PTW if needed.
      *  @return The physical address, or nullopt while walking. */
-    std::optional<Addr> translate(Addr va);
+    std::optional<Addr> translate(Addr va, Tick now);
 
     /** Returns true if issuing is currently allowed. */
     bool mayIssue() const;
@@ -141,6 +141,7 @@ class Tracer : public Clocked, public mem::MemResponder
     MarkQueue &markQueue_;
     mem::MemPort *port_;
     mem::Ptw &ptw_;
+    unsigned ptwPort_ = 0; //!< Our requester port on the shared PTW.
     mem::TlbArray tlb_;
     const Marker *marker_ = nullptr;
 

@@ -18,6 +18,7 @@ Dram::Dram(std::string name, const DramParams &params, PhysMem &mem)
     panic_if(params_.banks == 0, "DRAM needs at least one bank");
     panic_if(params_.busBytesPerCycle <= 0.0, "bad bus bandwidth");
     hasBspHooks_ = true; // Deliveries are staged in ParallelBsp mode.
+    stagedDeliveries_.reserve(params_.maxReads + params_.maxWrites);
 }
 
 unsigned
@@ -192,13 +193,18 @@ Dram::tick(Tick now)
     // Deliver due responses. During a ParallelBsp evaluate phase the
     // delivery's side effects leave this partition (PhysMem access,
     // in-flight counters the bus polls, the upstream onResponse), so
-    // only the queue pop happens here and the rest is staged.
-    const bool staging = bspStagingActive();
+    // only the queue pop happens here and the rest is staged. The
+    // blanket evaluate-phase predicate is required (not the
+    // partition-relative one): from our own tick the active partition
+    // is ours, yet the responder lives wherever the bus was placed.
+    const bool staging = bspEvaluatePhase();
     while (!completions_.empty() && completions_.top().at <= now) {
         const Completion c = completions_.top();
         completions_.pop();
         if (staging) {
-            stagedDeliveries_.push_back(c.req);
+            panic_if(!stagedDeliveries_.push(c.req),
+                     "DRAM staged-delivery ring overflow");
+            detail::noteStagedEvent();
             continue;
         }
         MemResponse resp;
@@ -222,7 +228,8 @@ Dram::tick(Tick now)
 void
 Dram::bspCommit(Tick now)
 {
-    for (const MemRequest &req : stagedDeliveries_) {
+    MemRequest req;
+    while (stagedDeliveries_.pop(req)) {
         MemResponse resp;
         resp.req = req;
         resp.completed = now;
@@ -239,7 +246,6 @@ Dram::bspCommit(Tick now)
         panic_if(responder_ == nullptr, "DRAM has no responder");
         responder_->onResponse(resp, now);
     }
-    stagedDeliveries_.clear();
 }
 
 bool

@@ -24,6 +24,7 @@
 
 #include "mem/mem_device.h"
 #include "mem/phys_mem.h"
+#include "sim/spsc_ring.h"
 #include "sim/stats.h"
 
 namespace hwgc::mem
@@ -184,8 +185,11 @@ class Dram : public MemDevice
                         std::greater<Completion>> completions_;
 
     /** Completions retired during a ParallelBsp evaluate tick, in
-     *  pop order; applied and delivered at bspCommit(). */
-    std::vector<MemRequest> stagedDeliveries_;
+     *  pop order; applied and delivered at bspCommit(). SPSC: the
+     *  worker ticking the controller produces, the commit thread
+     *  consumes after the join. Sized to maxReads + maxWrites — the
+     *  most completions that can ever be outstanding at once. */
+    SpscRing<MemRequest> stagedDeliveries_;
 
     stats::Scalar numReads_{"numReads"};
     stats::Scalar numWrites_{"numWrites"};

@@ -19,6 +19,7 @@ IdealMem::IdealMem(std::string name, const IdealMemParams &params,
       bandwidth_("bandwidth", params.bandwidthBucket)
 {
     hasBspHooks_ = true; // Deliveries are staged in ParallelBsp mode.
+    stagedDeliveries_.reserve(params_.maxInFlight);
 }
 
 bool
@@ -62,13 +63,17 @@ IdealMem::tick(Tick now)
 {
     // Delivery side effects cross partition boundaries in ParallelBsp
     // mode (PhysMem access, the in-flight counter the bus polls, the
-    // upstream onResponse): stage them for bspCommit().
-    const bool staging = bspStagingActive();
+    // upstream onResponse): stage them for bspCommit(). Blanket
+    // evaluate-phase predicate — from our own tick the active
+    // partition is ours, yet the responder may live anywhere.
+    const bool staging = bspEvaluatePhase();
     while (!completions_.empty() && completions_.top().at <= now) {
         const Completion c = completions_.top();
         completions_.pop();
         if (staging) {
-            stagedDeliveries_.push_back(c.req);
+            panic_if(!stagedDeliveries_.push(c.req),
+                     "IdealMem staged-delivery ring overflow");
+            detail::noteStagedEvent();
             continue;
         }
         MemResponse resp;
@@ -87,7 +92,8 @@ IdealMem::tick(Tick now)
 void
 IdealMem::bspCommit(Tick now)
 {
-    for (const MemRequest &req : stagedDeliveries_) {
+    MemRequest req;
+    while (stagedDeliveries_.pop(req)) {
         MemResponse resp;
         resp.req = req;
         resp.completed = now;
@@ -99,7 +105,6 @@ IdealMem::bspCommit(Tick now)
         panic_if(responder_ == nullptr, "IdealMem has no responder");
         responder_->onResponse(resp, now);
     }
-    stagedDeliveries_.clear();
 }
 
 bool
@@ -146,7 +151,8 @@ IdealMem::save(checkpoint::Serializer &ser) const
 void
 IdealMem::restore(checkpoint::Deserializer &des)
 {
-    stagedDeliveries_.clear();
+    panic_if(!stagedDeliveries_.empty(),
+             "memory '%s' restored mid-evaluate", name().c_str());
     busFreeAt_ = des.getU64();
     inFlight_ = unsigned(des.getU64());
     completions_ = {};

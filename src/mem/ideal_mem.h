@@ -16,6 +16,7 @@
 
 #include "mem/mem_device.h"
 #include "mem/phys_mem.h"
+#include "sim/spsc_ring.h"
 #include "sim/stats.h"
 
 namespace hwgc::mem
@@ -111,8 +112,10 @@ class IdealMem : public MemDevice
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>> completions_;
 
-    /** Completions retired during a ParallelBsp evaluate tick. */
-    std::vector<MemRequest> stagedDeliveries_;
+    /** Completions retired during a ParallelBsp evaluate tick. SPSC:
+     *  the worker ticking the pipe produces, the commit thread
+     *  consumes after the join; sized to the in-flight window. */
+    SpscRing<MemRequest> stagedDeliveries_;
 
     stats::Scalar numRequests_{"numRequests"};
     stats::Scalar bytesMoved_{"bytesMoved"};

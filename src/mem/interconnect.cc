@@ -18,6 +18,12 @@ Interconnect::Interconnect(std::string name,
     hasFastForward_ = true; // Per-elapsed-cycle counter and tokens.
     hasBspHooks_ = true;    // All boundary traffic is staged.
     downstream_.setResponder(this);
+    // One tick stages at most grantsPerCycle grants; the delivery
+    // ring starts small and is re-sized (while empty, before any
+    // concurrent reader exists) by tick() if a burst of same-cycle
+    // responses ever outgrows it.
+    stagedGrants_.reserve(params_.grantsPerCycle);
+    stagedDeliveries_.reserve(64);
 }
 
 unsigned
@@ -29,7 +35,9 @@ Interconnect::registerClient(MemResponder *responder, std::string label)
     ports_.push_back(std::move(port));
     portRequests_.emplace_back("requests::" + ports_.back().label);
     portBytes_.emplace_back("bytes::" + ports_.back().label);
-    stagedSendCount_.push_back(0);
+    // A client can never stage more sends in one cycle than its queue
+    // holds — the staged canAccept() admission check bounds it.
+    stagedSends_.emplace_back().reserve(params_.clientQueueDepth);
     publishedSize_.push_back(0);
     clientGroup_.push_back(noGroup);
     return unsigned(ports_.size() - 1);
@@ -78,8 +86,10 @@ Interconnect::canAccept(unsigned client) const
         // the queue as of the last commit plus their own staged sends
         // — exactly the occupancy the dense kernel's same-cycle check
         // would see (this cycle's grants only shrink the queue, and a
-        // grant can never take a request sent this same cycle).
-        return publishedSize_[client] + stagedSendCount_[client] <
+        // grant can never take a request sent this same cycle). The
+        // ring size is producer-exact: the client owns the tail and
+        // the head only moves on the quiesced commit thread.
+        return publishedSize_[client] + stagedSends_[client].size() <
                params_.clientQueueDepth;
     }
     return ports_[client].requests.size() < params_.clientQueueDepth;
@@ -102,8 +112,9 @@ Interconnect::sendRequest(const MemRequest &req, Tick now)
         // the position and timestamp the dense kernel would have used.
         panic_if(params_.requestLatency == 0,
                  "ParallelBsp requires bus requestLatency >= 1");
-        stagedSends_.push_back({req, now});
-        ++stagedSendCount_[req.client];
+        panic_if(!stagedSends_[req.client].push({req, now}),
+                 "client %u staged-send ring overflow", req.client);
+        detail::noteStagedEvent();
         return;
     }
     Port &port = ports_[req.client];
@@ -149,9 +160,21 @@ Interconnect::tick(Tick now)
     // Round-robin grant of up to grantsPerCycle requests. While
     // staging (ParallelBsp evaluate), the grant *decisions* are made
     // here with the admission check counting the grants already
-    // staged this tick, but the sends into the memory device and the
-    // owner pokes are deferred to bspCommit().
-    const bool staging = bspStagingActive();
+    // staged this tick, but the sends into the memory device are
+    // deferred to bspCommit(). The blanket evaluate-phase predicate
+    // (not the partition-relative one) is required: from the bus's
+    // own tick the active partition *is* the bus's, yet the grant's
+    // side effects land in the memory device and the delivery
+    // handlers in client units — either may live anywhere under a
+    // fine partitioning.
+    const bool staging = bspEvaluatePhase();
+    if (staging &&
+        stagedDeliveries_.capacity() < pendingResponses_.size()) {
+        // Legal (and race-free) because the ring is empty at the top
+        // of every evaluate tick and the commit thread only reads it
+        // after this worker joins the barrier.
+        stagedDeliveries_.reserve(pendingResponses_.size());
+    }
     unsigned granted = 0;
     const unsigned n = unsigned(ports_.size());
     for (unsigned i = 0; i < n && granted < params_.grantsPerCycle; ++i) {
@@ -188,7 +211,9 @@ Interconnect::tick(Tick now)
             grp->tokens -= cost;
         }
         if (staging) {
-            stagedGrants_.push_back({req, now});
+            panic_if(!stagedGrants_.push({req, now}),
+                     "staged-grant ring overflow");
+            detail::noteStagedEvent();
             if (req.isWrite()) {
                 ++stagedMemWrites_;
             } else {
@@ -214,7 +239,9 @@ Interconnect::tick(Tick now)
         const MemResponse resp = pendingResponses_.front().resp;
         pendingResponses_.pop_front();
         if (staging) {
-            stagedDeliveries_.push_back(resp);
+            panic_if(!stagedDeliveries_.push(resp),
+                     "staged-delivery ring overflow");
+            detail::noteStagedEvent();
             moved = true;
             continue;
         }
@@ -345,30 +372,34 @@ Interconnect::bspCommit(Tick now)
     //    per-client statistics exactly (this cycle's grants already
     //    popped, but a grant can never take a same-cycle send, so the
     //    final queue content is order-independent).
-    for (const StagedReq &s : stagedSends_) {
-        sendRequest(s.req, s.at);
+    //    Clients staged concurrently into their own rings, so replay
+    //    walks the rings in client-id order — state-identical to any
+    //    dense interleaving, because each send lands in its own
+    //    per-client queue and bumps only per-client counters.
+    StagedReq s;
+    for (auto &ring : stagedSends_) {
+        while (ring.pop(s)) {
+            sendRequest(s.req, s.at);
+        }
     }
-    stagedSends_.clear();
-    std::fill(stagedSendCount_.begin(), stagedSendCount_.end(), 0u);
 
     // 2. Grants decided by this cycle's tick, in grant order.
-    for (const StagedReq &g : stagedGrants_) {
-        downstream_.sendRequest(g.req, g.at);
+    while (stagedGrants_.pop(s)) {
+        downstream_.sendRequest(s.req, s.at);
     }
-    stagedGrants_.clear();
     stagedMemReads_ = 0;
     stagedMemWrites_ = 0;
 
     // 3. Response deliveries, in arrival order. Handlers may send new
     //    requests live from here — they land after the replayed
     //    sends, just as they would during the dense bus tick.
-    for (const MemResponse &resp : stagedDeliveries_) {
+    MemResponse resp;
+    while (stagedDeliveries_.pop(resp)) {
         Port &port = ports_[resp.req.client];
         if (port.responder != nullptr) {
             port.responder->onResponse(resp, now);
         }
     }
-    stagedDeliveries_.clear();
 }
 
 void
@@ -386,8 +417,11 @@ Interconnect::save(checkpoint::Serializer &ser) const
 {
     // Checkpoints are taken at inter-cycle boundaries, where BSP
     // staging buffers are empty by the kernel's invariants.
-    panic_if(!stagedSends_.empty() || !stagedGrants_.empty() ||
-                 !stagedDeliveries_.empty(),
+    for (const auto &ring : stagedSends_) {
+        panic_if(!ring.empty(), "bus '%s' checkpointed mid-evaluate",
+                 name().c_str());
+    }
+    panic_if(!stagedGrants_.empty() || !stagedDeliveries_.empty(),
              "bus '%s' checkpointed mid-evaluate", name().c_str());
     ser.putU64(ports_.size());
     for (const auto &port : ports_) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mem/mem_device.h"
+#include "sim/spsc_ring.h"
 #include "sim/stats.h"
 
 namespace hwgc::mem
@@ -173,11 +174,21 @@ class Interconnect : public Clocked, public MemResponder
     MemDevice &downstream_;
     std::vector<Port> ports_;
 
-    /** @name ParallelBsp staging state (empty outside evaluate) @{ */
-    std::vector<StagedReq> stagedSends_;   //!< Client -> bus.
-    std::vector<StagedReq> stagedGrants_;  //!< Bus -> memory.
-    std::vector<MemResponse> stagedDeliveries_; //!< Bus -> client.
-    std::vector<unsigned> stagedSendCount_; //!< Per-client staged sends.
+    /**
+     * @name ParallelBsp staging state (empty outside evaluate)
+     *
+     * Each boundary crossing gets its own SPSC ring: the per-client
+     * send rings have exactly one producer (the worker running the
+     * client's partition) and the grant/delivery rings are filled by
+     * the worker ticking the bus itself; the single consumer is
+     * always the commit thread, after the evaluate join. A deque
+     * keeps the (non-movable, cache-line-padded) rings at stable
+     * addresses while clients keep registering.
+     * @{
+     */
+    std::deque<SpscRing<StagedReq>> stagedSends_; //!< Client -> bus.
+    SpscRing<StagedReq> stagedGrants_;            //!< Bus -> memory.
+    SpscRing<MemResponse> stagedDeliveries_;      //!< Bus -> client.
     std::vector<unsigned> publishedSize_; //!< Last-commit queue sizes.
     unsigned stagedMemReads_ = 0;  //!< Reads granted this evaluate.
     unsigned stagedMemWrites_ = 0; //!< Writes granted this evaluate.

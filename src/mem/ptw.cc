@@ -5,6 +5,8 @@
 
 #include "ptw.h"
 
+#include <algorithm>
+
 #include "sim/checkpoint.h"
 
 namespace hwgc::mem
@@ -16,15 +18,56 @@ Ptw::Ptw(std::string name, const PtwParams &params,
       port_(port), l2Tlb_(this->name() + ".l2tlb", params.l2TlbEntries)
 {
     panic_if(port_ == nullptr, "PTW needs a memory port");
+    hasBspHooks_ = true;
+}
+
+unsigned
+Ptw::registerRequester(const Clocked *owner, std::string label)
+{
+    auto p = std::make_unique<Port>();
+    p->owner = owner;
+    p->label = std::move(label);
+    // A requester can never have more than queueDepth walks staged in
+    // one cycle — it is bounded by its own canRequest() checks.
+    p->staged.reserve(params_.queueDepth);
+    ports_.push_back(std::move(p));
+    // Worst case every outstanding completion targets a foreign
+    // partition and comes due on the same cycle.
+    stagedCallbacks_.reserve(ports_.size() * params_.queueDepth);
+    return unsigned(ports_.size() - 1);
+}
+
+bool
+Ptw::canRequest(unsigned port) const
+{
+    const Port &p = *ports_[port];
+    if (bspStagingActive()) {
+        // Foreign-partition view: last cycle's published occupancy
+        // plus what this requester itself staged this cycle — exactly
+        // the live queue size it would have seen ticking before the
+        // walker in the serial pass.
+        return p.publishedSize + p.staged.size() < params_.queueDepth;
+    }
+    return p.queue.size() < params_.queueDepth;
 }
 
 void
-Ptw::requestWalk(Addr va, WalkCallback cb, std::string owner,
+Ptw::requestWalk(unsigned port, Addr va, Tick now, WalkCallback cb,
                  std::uint64_t token)
 {
-    pokeWakeup(); // A queued walk can start on the next cycle.
-    panic_if(!canRequest(), "PTW queue overflow");
-    queue_.push_back({va, std::move(cb), std::move(owner), token});
+    panic_if(!canRequest(port), "PTW '%s' port '%s': queue overflow",
+             name().c_str(), ports_[port]->label.c_str());
+    pokeWakeup(); // The latched walk becomes visible next cycle.
+    Port &p = *ports_[port];
+    WalkRequest r{va, now + 1, std::move(cb), token};
+    if (bspStagingActive()) {
+        panic_if(!p.staged.push(r),
+                 "PTW '%s' port '%s': staging ring overflow",
+                 name().c_str(), p.label.c_str());
+        detail::noteStagedEvent();
+        return;
+    }
+    p.queue.push_back(std::move(r));
 }
 
 void
@@ -50,8 +93,7 @@ Ptw::finishWalk(bool valid, Addr pa, unsigned page_bits, Tick now)
     }
     pendingCallbacks_.push_back({now + 1, valid, current_.va, pa,
                                  page_bits, std::move(current_.cb),
-                                 std::move(current_.owner),
-                                 current_.token});
+                                 current_.token, currentPort_});
     walking_ = false;
     awaitingResponse_ = false;
 }
@@ -74,12 +116,22 @@ Ptw::onResponse(const MemResponse &resp, Tick now)
 void
 Ptw::tick(Tick now)
 {
-    // Fire due callbacks.
+    // Fire due callbacks; completions whose requester is being
+    // evaluated in a foreign partition right now are deferred to
+    // bspCommit (same-cycle delivery either way).
     while (!pendingCallbacks_.empty() &&
            pendingCallbacks_.front().readyAt <= now) {
         PendingCallback pc = std::move(pendingCallbacks_.front());
         pendingCallbacks_.pop_front();
-        pc.cb(pc.valid, pc.va, pc.pa, pc.pageBits);
+        const Clocked *owner = ports_[pc.port]->owner;
+        if (owner != nullptr && owner->bspStagingActive()) {
+            panic_if(!stagedCallbacks_.push(pc),
+                     "PTW '%s': callback staging ring overflow",
+                     name().c_str());
+            detail::noteStagedEvent();
+        } else {
+            pc.cb(pc.valid, pc.va, pc.pa, pc.pageBits);
+        }
     }
 
     if (walking_) {
@@ -89,21 +141,34 @@ Ptw::tick(Tick now)
         return;
     }
 
-    if (queue_.empty()) {
+    // Start at most one queued walk: oldest arrival wins, same-cycle
+    // arrivals break by port id. Both keys are placement-independent,
+    // which is what keeps fine partitionings bit-identical.
+    unsigned best = ~0u;
+    Tick best_at = maxTick;
+    for (unsigned i = 0; i < ports_.size(); ++i) {
+        const auto &q = ports_[i]->queue;
+        if (!q.empty() && q.front().arriveAt <= now &&
+            q.front().arriveAt < best_at) {
+            best = i;
+            best_at = q.front().arriveAt;
+        }
+    }
+    if (best == ~0u) {
         return;
     }
 
-    // Start the next walk; the L2 TLB shortcuts the full walk.
-    current_ = std::move(queue_.front());
-    queue_.pop_front();
+    Port &p = *ports_[best];
+    current_ = std::move(p.queue.front());
+    currentPort_ = best;
+    p.queue.pop_front();
     if (const auto hit = l2Tlb_.lookupEntry(current_.va)) {
         ++l2Hits_;
         pendingCallbacks_.push_back({now + params_.l2TlbLatency, true,
                                      current_.va, hit->first,
                                      hit->second,
                                      std::move(current_.cb),
-                                     std::move(current_.owner),
-                                     current_.token});
+                                     current_.token, currentPort_});
         return;
     }
     ++walks_;
@@ -115,10 +180,52 @@ Ptw::tick(Tick now)
     issueLevel(now);
 }
 
+void
+Ptw::bspCommit(Tick now)
+{
+    (void)now;
+    // Replay cross-partition walk requests. Each ring holds one
+    // requester's issues in order; the arriveAt latch already carries
+    // the issue cycle, so replay order across ports is immaterial.
+    for (auto &pp : ports_) {
+        WalkRequest r;
+        while (pp->staged.pop(r)) {
+            pokeWakeup();
+            panic_if(pp->queue.size() >= params_.queueDepth,
+                     "PTW '%s' port '%s': queue overflow at commit",
+                     name().c_str(), pp->label.c_str());
+            pp->queue.push_back(std::move(r));
+        }
+    }
+    PendingCallback pc;
+    while (stagedCallbacks_.pop(pc)) {
+        pc.cb(pc.valid, pc.va, pc.pa, pc.pageBits);
+    }
+}
+
+void
+Ptw::bspPublish()
+{
+    for (auto &pp : ports_) {
+        pp->publishedSize = pp->queue.size();
+    }
+}
+
+bool
+Ptw::anyQueued() const
+{
+    for (const auto &pp : ports_) {
+        if (!pp->queue.empty()) {
+            return true;
+        }
+    }
+    return false;
+}
+
 bool
 Ptw::busy() const
 {
-    return walking_ || !queue_.empty() || !pendingCallbacks_.empty();
+    return walking_ || !pendingCallbacks_.empty() || anyQueued();
 }
 
 Tick
@@ -134,8 +241,11 @@ Ptw::nextWakeup(Tick now) const
         }
         return next; // Waiting on a PTE fetch response.
     }
-    if (!queue_.empty()) {
-        return now; // A new walk can start.
+    for (const auto &pp : ports_) {
+        if (!pp->queue.empty()) {
+            next = std::min(next,
+                            std::max(pp->queue.front().arriveAt, now));
+        }
     }
     return next;
 }
@@ -158,9 +268,18 @@ Ptw::cycleClass(Tick now) const
                                          : CycleClass::StallBus;
         }
     }
-    // Starting a queued walk, or delivering completion callbacks after
-    // their modeled latency: the walker itself is doing the work.
+    // Latching or starting a queued walk, or delivering completion
+    // callbacks after their modeled latency: the walker itself is
+    // doing the work.
     return CycleClass::Busy;
+}
+
+void
+Ptw::setPageTable(const PageTable &page_table)
+{
+    panic_if(walking_ || anyQueued() || !pendingCallbacks_.empty(),
+             "ptw retargeted with a walk in flight");
+    pageTable_ = &page_table;
 }
 
 Ptw::WalkCallback
@@ -183,39 +302,49 @@ Ptw::resolveCallback(const std::string &owner, std::uint64_t token,
 void
 Ptw::save(checkpoint::Serializer &ser) const
 {
-    ser.putU64(queue_.size());
-    for (const auto &r : queue_) {
-        panic_if(r.owner.empty(),
-                 "PTW '%s': cannot checkpoint a walk request issued "
-                 "without an owner identity",
+    ser.putU64(ports_.size());
+    for (const auto &pp : ports_) {
+        panic_if(!pp->staged.empty(),
+                 "PTW '%s': checkpoint with staged walk requests",
                  name().c_str());
-        ser.putU64(r.va);
-        ser.putString(r.owner);
-        ser.putU64(r.token);
+        panic_if(!pp->queue.empty() && pp->label.empty(),
+                 "PTW '%s': cannot checkpoint walk requests issued "
+                 "through an unlabelled port",
+                 name().c_str());
+        ser.putString(pp->label);
+        ser.putU64(pp->queue.size());
+        for (const auto &r : pp->queue) {
+            ser.putU64(r.va);
+            ser.putU64(r.arriveAt);
+            ser.putU64(r.token);
+        }
     }
+    panic_if(!stagedCallbacks_.empty(),
+             "PTW '%s': checkpoint with staged walk callbacks",
+             name().c_str());
     ser.putU64(pendingCallbacks_.size());
     for (const auto &pc : pendingCallbacks_) {
-        panic_if(pc.owner.empty(),
+        panic_if(ports_[pc.port]->label.empty(),
                  "PTW '%s': cannot checkpoint a walk callback issued "
-                 "without an owner identity",
+                 "through an unlabelled port",
                  name().c_str());
         ser.putU64(pc.readyAt);
         ser.putBool(pc.valid);
         ser.putU64(pc.va);
         ser.putU64(pc.pa);
         ser.putU64(pc.pageBits);
-        ser.putString(pc.owner);
+        ser.putU64(pc.port);
         ser.putU64(pc.token);
     }
     ser.putBool(walking_);
     ser.putBool(awaitingResponse_);
     if (walking_) {
-        panic_if(current_.owner.empty(),
+        panic_if(ports_[currentPort_]->label.empty(),
                  "PTW '%s': cannot checkpoint the current walk: it was "
-                 "issued without an owner identity",
+                 "issued through an unlabelled port",
                  name().c_str());
         ser.putU64(current_.va);
-        ser.putString(current_.owner);
+        ser.putU64(currentPort_);
         ser.putU64(current_.token);
         ser.putBool(walkPlan_.valid);
         ser.putU64(walkPlan_.pa);
@@ -235,15 +364,30 @@ Ptw::save(checkpoint::Serializer &ser) const
 void
 Ptw::restore(checkpoint::Deserializer &des)
 {
-    queue_.clear();
-    const std::uint64_t num_queued = des.getU64();
-    for (std::uint64_t i = 0; i < num_queued; ++i) {
-        WalkRequest r;
-        r.va = des.getU64();
-        r.owner = des.getString();
-        r.token = des.getU64();
-        r.cb = resolveCallback(r.owner, r.token, des.origin());
-        queue_.push_back(std::move(r));
+    const std::uint64_t num_ports = des.getU64();
+    fatal_if(num_ports != ports_.size(),
+             "checkpoint '%s': PTW '%s' has %zu requester ports, "
+             "checkpoint has %llu",
+             des.origin().c_str(), name().c_str(), ports_.size(),
+             (unsigned long long)num_ports);
+    for (auto &pp : ports_) {
+        const std::string label = des.getString();
+        fatal_if(label != pp->label,
+                 "checkpoint '%s': PTW '%s' port label mismatch "
+                 "('%s' vs '%s')",
+                 des.origin().c_str(), name().c_str(), label.c_str(),
+                 pp->label.c_str());
+        pp->queue.clear();
+        pp->publishedSize = 0;
+        const std::uint64_t num_queued = des.getU64();
+        for (std::uint64_t i = 0; i < num_queued; ++i) {
+            WalkRequest r;
+            r.va = des.getU64();
+            r.arriveAt = des.getU64();
+            r.token = des.getU64();
+            r.cb = resolveCallback(pp->label, r.token, des.origin());
+            pp->queue.push_back(std::move(r));
+        }
     }
     pendingCallbacks_.clear();
     const std::uint64_t num_pending = des.getU64();
@@ -254,22 +398,34 @@ Ptw::restore(checkpoint::Deserializer &des)
         pc.va = des.getU64();
         pc.pa = des.getU64();
         pc.pageBits = unsigned(des.getU64());
-        pc.owner = des.getString();
+        pc.port = unsigned(des.getU64());
         pc.token = des.getU64();
-        pc.cb = resolveCallback(pc.owner, pc.token, des.origin());
+        fatal_if(pc.port >= ports_.size(),
+                 "checkpoint '%s': PTW '%s' callback references "
+                 "port %u of %zu",
+                 des.origin().c_str(), name().c_str(), pc.port,
+                 ports_.size());
+        pc.cb = resolveCallback(ports_[pc.port]->label, pc.token,
+                                des.origin());
         pendingCallbacks_.push_back(std::move(pc));
     }
     walking_ = des.getBool();
     awaitingResponse_ = des.getBool();
     current_ = {};
+    currentPort_ = 0;
     walkPlan_ = {};
     level_ = 0;
     if (walking_) {
         current_.va = des.getU64();
-        current_.owner = des.getString();
+        currentPort_ = unsigned(des.getU64());
         current_.token = des.getU64();
-        current_.cb = resolveCallback(current_.owner, current_.token,
-                                      des.origin());
+        fatal_if(currentPort_ >= ports_.size(),
+                 "checkpoint '%s': PTW '%s' current walk references "
+                 "port %u of %zu",
+                 des.origin().c_str(), name().c_str(), currentPort_,
+                 ports_.size());
+        current_.cb = resolveCallback(ports_[currentPort_]->label,
+                                      current_.token, des.origin());
         walkPlan_.valid = des.getBool();
         walkPlan_.pa = des.getU64();
         for (auto &a : walkPlan_.pteAddr) {
@@ -283,6 +439,7 @@ Ptw::restore(checkpoint::Deserializer &des)
     checkpoint::getStat(des, l2Hits_);
     checkpoint::getStat(des, pteFetches_);
     l2Tlb_.restore(des);
+    bspPublish(); // Rebuild the foreign-partition occupancy snapshot.
 }
 
 void

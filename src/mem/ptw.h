@@ -12,6 +12,17 @@
  * MemPort (either the PTW's private cache, or the shared unit cache
  * in the Fig 18a configuration), and a shared 128-entry L2 TLB
  * consulted before walking.
+ *
+ * Requesters attach through registered *ports* (registerRequester),
+ * each with its own bounded request queue. An issued walk is latched
+ * for one cycle (arriveAt = issue + 1) before the walker can pick it
+ * up, and the walker starts at most one queued walk per cycle,
+ * choosing the oldest arrival and breaking same-cycle ties by port
+ * id. Both rules make the pick order a pure function of issue cycles
+ * and port ids — never of host scheduling — so the ParallelBsp
+ * kernel can place each requester in its own partition and stage
+ * cross-partition requests in per-port SPSC rings without changing a
+ * single simulated cycle (DESIGN.md §8).
  */
 
 #ifndef HWGC_MEM_PTW_H
@@ -19,11 +30,13 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 
 #include "mem/page_table.h"
 #include "mem/port.h"
 #include "mem/tlb.h"
 #include "sim/clocked.h"
+#include "sim/spsc_ring.h"
 #include "sim/stats.h"
 
 namespace hwgc::mem
@@ -34,7 +47,7 @@ struct PtwParams
 {
     unsigned l2TlbEntries = 128;  //!< Shared L2 TLB (paper baseline).
     Tick l2TlbLatency = 2;        //!< L2 TLB hit latency.
-    unsigned queueDepth = 16;     //!< Pending walk requests.
+    unsigned queueDepth = 16;     //!< Pending walks per requester port.
 };
 
 /** Blocking page-table walker with a shared L2 TLB. */
@@ -65,20 +78,31 @@ class Ptw : public Clocked, public MemResponder
     Ptw(std::string name, const PtwParams &params,
         const PageTable &page_table, MemPort *port);
 
-    /** True if another walk request can be queued. */
-    bool canRequest() const { return queue_.size() < params_.queueDepth; }
+    /**
+     * Attaches a requester and returns its port id for canRequest() /
+     * requestWalk(). @p owner is the requesting component (nullptr for
+     * harness-driven requests, which then always complete live);
+     * @p label is its checkpoint identity — the name handed to the
+     * CallbackResolver, conventionally owner->name(). Call during
+     * construction, before the first tick.
+     */
+    unsigned registerRequester(const Clocked *owner, std::string label);
+
+    /** True if port @p port can queue another walk this cycle. */
+    bool canRequest(unsigned port) const;
 
     /**
-     * Queues a walk for @p va; @p cb fires when it resolves.
+     * Queues a walk for @p va on @p port at cycle @p now; @p cb fires
+     * when it resolves. The walk becomes visible to the walker one
+     * cycle later (the issue latch).
      *
      * Callbacks are opaque closures and cannot be serialized, so each
-     * request also carries its identity — the requester's component
-     * name (@p owner) plus a requester-defined @p token — from which
-     * the CallbackResolver re-creates the closure after a checkpoint
-     * restore. Requests without an owner work normally but make the
-     * containing system un-checkpointable while in flight.
+     * request also carries a requester-defined @p token; together with
+     * the port's label it forms the identity from which the
+     * CallbackResolver re-creates the closure after a checkpoint
+     * restore.
      */
-    void requestWalk(Addr va, WalkCallback cb, std::string owner = {},
+    void requestWalk(unsigned port, Addr va, Tick now, WalkCallback cb,
                      std::uint64_t token = 0);
 
     /** Installs the restore-time (owner, token) -> callback factory. */
@@ -96,6 +120,8 @@ class Ptw : public Clocked, public MemResponder
     bool busy() const override;
     Tick nextWakeup(Tick now) const override;
     CycleClass cycleClass(Tick now) const override;
+    void bspCommit(Tick now) override;
+    void bspPublish() override;
     void save(checkpoint::Serializer &ser) const override;
     void restore(checkpoint::Deserializer &des) override;
 
@@ -107,13 +133,7 @@ class Ptw : public Clocked, public MemResponder
      * time-multiplexing). Callers must flush the TLBs and ensure no
      * walk is in flight — this is part of the §VII context switch.
      */
-    void
-    setPageTable(const PageTable &page_table)
-    {
-        panic_if(walking_ || !queue_.empty(),
-                 "ptw retargeted with a walk in flight");
-        pageTable_ = &page_table;
-    }
+    void setPageTable(const PageTable &page_table);
 
     void resetStats();
 
@@ -136,27 +156,45 @@ class Ptw : public Clocked, public MemResponder
     struct WalkRequest
     {
         Addr va = 0;
+        Tick arriveAt = 0;  //!< Issue cycle + 1 (the issue latch).
         WalkCallback cb;
-        std::string owner;        //!< Requester name (restore identity).
         std::uint64_t token = 0;  //!< Requester-defined (restore identity).
     };
 
     struct PendingCallback
     {
-        Tick readyAt;
-        bool valid;
-        Addr va;
-        Addr pa;
-        unsigned pageBits;
+        Tick readyAt = 0;
+        bool valid = false;
+        Addr va = 0;
+        Addr pa = 0;
+        unsigned pageBits = 0;
         WalkCallback cb;
-        std::string owner;
-        std::uint64_t token = 0;
+        std::uint64_t token = 0;  //!< Requester-defined (restore identity).
+        unsigned port = 0;        //!< Issuing port (owner + restore identity).
+    };
+
+    /**
+     * One requester attachment. The live queue is only touched by the
+     * walker's own partition; cross-partition issues go through the
+     * SPSC staging ring (producer: the requester's worker thread,
+     * consumer: the commit thread) and publishedSize lets the
+     * requester answer canRequest() from last cycle's snapshot.
+     */
+    struct Port
+    {
+        const Clocked *owner = nullptr;
+        std::string label;
+        std::deque<WalkRequest> queue;
+        SpscRing<WalkRequest> staged;
+        std::size_t publishedSize = 0;
     };
 
     /** Issues the PTE fetch for the current level if the port has room. */
     void issueLevel(Tick now);
 
     void finishWalk(bool valid, Addr pa, unsigned page_bits, Tick now);
+
+    bool anyQueued() const;
 
     /** Rebuilds a callback from its saved identity via the resolver. */
     WalkCallback resolveCallback(const std::string &owner,
@@ -168,13 +206,18 @@ class Ptw : public Clocked, public MemResponder
     MemPort *port_;
     TlbArray l2Tlb_;
 
-    std::deque<WalkRequest> queue_;
+    std::vector<std::unique_ptr<Port>> ports_;
     std::deque<PendingCallback> pendingCallbacks_;
+    /** Completions whose requester lives in a foreign partition,
+     *  deferred to bspCommit. One ring suffices: the walker's own
+     *  partition is the only producer. */
+    SpscRing<PendingCallback> stagedCallbacks_;
 
     // Current walk state.
     bool walking_ = false;
     bool awaitingResponse_ = false;
     WalkRequest current_;
+    unsigned currentPort_ = 0;
     PageTable::WalkResult walkPlan_;
     unsigned level_ = 0;
 

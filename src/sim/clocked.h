@@ -67,6 +67,33 @@ namespace detail
  * parallel_kernel.cc; null outside an evaluate pass.
  */
 extern thread_local std::uint64_t *bspPokeMask;
+
+/**
+ * The partition currently being evaluated by this thread (normalized
+ * label), or ~0u outside ParallelKernel::runPartition. Lets a callee
+ * decide whether an incoming call is same-partition (apply live —
+ * at-turn semantics within the partition's registration-ordered pass)
+ * or cross-partition (stage for bspCommit). Defined in
+ * parallel_kernel.cc.
+ */
+extern thread_local unsigned bspActivePartition;
+
+/**
+ * Count of events staged for bspCommit by this thread during the
+ * current runPartition pass. Every staging append bumps it; the
+ * kernel folds the per-pass delta into the cycle result so the
+ * superstep batcher knows a cycle produced cross-partition traffic
+ * and must hand off to the commit phase. Defined in
+ * parallel_kernel.cc.
+ */
+extern thread_local std::uint64_t bspStagedEvents;
+
+/** Staging call sites bump the per-pass staged-event counter. */
+inline void
+noteStagedEvent()
+{
+    ++bspStagedEvents;
+}
 } // namespace detail
 
 /** Kernel selection for System (see file header). */
@@ -255,16 +282,38 @@ class Clocked
     void pokeWakeup(const Clocked &other);
 
     /**
-     * True while the owning System is inside a ParallelBsp evaluate
-     * phase: externally callable entry points that carry traffic
-     * across partition boundaries (sendRequest, onResponse) must then
-     * stage it for bspCommit() instead of applying it live, and
-     * backpressure queries must answer from the last bspPublish()
-     * snapshot plus the caller's own staged traffic. Always false in
-     * the dense and event kernels and during serial phases, so the
-     * live paths stay byte-for-byte untouched.
+     * True when a call arriving at this component right now crosses a
+     * partition boundary: the owning System is inside a ParallelBsp
+     * evaluate phase AND the partition being evaluated on this thread
+     * is not this component's own. Externally callable entry points
+     * that carry traffic (sendRequest, onResponse, requestWalk,
+     * assign) must then stage it for bspCommit() instead of applying
+     * it live, and backpressure queries must answer from the last
+     * bspPublish() snapshot plus the caller's own staged traffic.
+     * Same-partition calls — and all calls in the dense and event
+     * kernels and during serial phases — keep the live paths
+     * byte-for-byte untouched.
+     *
+     * Public because shared resources with registered requester ports
+     * (the PTW) must evaluate the predicate from the *target's*
+     * perspective: a walk callback may only fire live when the
+     * requesting component's partition is the one on this thread.
      */
+  public:
     bool bspStagingActive() const;
+
+  protected:
+
+    /**
+     * True while the owning System is inside a ParallelBsp evaluate
+     * phase, regardless of which partition is active. For *outbound*
+     * staging decisions taken inside a component's own tick (e.g. the
+     * memory devices deferring response delivery to bspCommit): those
+     * must stage whenever any parallel evaluation is in flight, since
+     * the receiver may live anywhere under a fine partitioning and
+     * commit-time delivery is timing-equivalent either way.
+     */
+    bool bspEvaluatePhase() const;
 
     /**
      * True when registered with a System in ParallelBsp mode (any
@@ -365,8 +414,58 @@ class System
 
     unsigned hostThreads() const { return hostThreads_; }
 
+    /**
+     * Caps the cycles one ParallelBsp superstep may batch (see
+     * executeCycleBsp): when exactly one partition is due and the
+     * wakeup data proves no other partition can fire for K cycles,
+     * the kernel executes up to that many cycles inside one
+     * fan-out/join round instead of one. 0 leaves the batch unbounded
+     * (the proof still bounds it); 1 disables batching. Host-only:
+     * simulated results are bit-identical for every value.
+     */
+    void setSuperstepMax(unsigned max) { superstepMax_ = max; }
+    unsigned superstepMax() const { return superstepMax_; }
+
     /** True while inside a ParallelBsp parallel evaluate phase. */
     bool inBspEvaluate() const { return bspEvaluate_; }
+
+    /**
+     * Normalized ParallelBsp partition label of the component with
+     * registration index @p idx (0 until the worker pool is built;
+     * only consulted during evaluate phases, which imply a built
+     * pool). Dense labels are what detail::bspActivePartition holds.
+     */
+    unsigned
+    densePartitionOf(std::size_t idx) const
+    {
+        return idx < densePart_.size() ? densePart_[idx] : 0;
+    }
+
+    /**
+     * Reassigns ParallelBsp partitions to workers from measured
+     * per-component busy-cycle counts (index = registration order): a
+     * greedy longest-processing-time bin-pack over the summed busy
+     * cycles of each partition. Host-only — the evaluate/commit
+     * semantics are identical for any assignment — so the cost-model
+     * partitioner (--host-partition=cost) may call this mid-run.
+     * Before the pool exists the request is stashed and applied at
+     * pool build. Defined in parallel_kernel.cc.
+     */
+    void rebalancePartitionWorkers(
+        const std::vector<std::uint64_t> &busy_per_component);
+
+    /** @name ParallelBsp host-side execution counters @{
+     *
+     * Deterministic given (partitioning, thread count, workload):
+     * they count simulated scheduling decisions, not host timing, so
+     * the bench baselines may compare them exactly. All zero outside
+     * ParallelBsp mode.
+     */
+    std::uint64_t bspSupersteps() const { return bspSupersteps_; }
+    std::uint64_t bspBatchedCycles() const { return bspBatchedCycles_; }
+    std::uint64_t bspHandshakes() const { return bspHandshakes_; }
+    std::uint64_t bspStagedEvents() const { return bspStagedEvents_; }
+    /** @} */
 
     /**
      * Opts @p dst into wakeup caching. By default the event kernel
@@ -598,6 +697,7 @@ class System
             }
             return StopReason::Budget;
         }
+        batchLimit_ = std::min(limit, stop_at);
         while (now_ < limit) {
             if (now_ >= stop_at) {
                 return StopReason::Stopped;
@@ -806,6 +906,7 @@ class System
     bool
     runUntilIdleEvent(Tick limit)
     {
+        batchLimit_ = limit;
         while (now_ < limit) {
             const CyclePass pass = passCycle();
             if (watchdogDue()) {
@@ -829,6 +930,7 @@ class System
     void
     runEvent(Tick limit)
     {
+        batchLimit_ = limit;
         while (now_ < limit) {
             const CyclePass pass = passCycle();
             if (watchdogDue()) {
@@ -884,10 +986,18 @@ class System
     std::vector<Tick> wake_; //!< Cached absolute wakeups (event mode).
     std::vector<std::uint64_t> succ_; //!< Per-src mask of dependents.
     std::vector<unsigned> part_; //!< ParallelBsp partition labels.
+    std::vector<unsigned> densePart_; //!< Normalized labels (pool-built).
     std::uint64_t dueMask_ = 0; //!< Scheduled-wakeup due components.
     std::uint64_t declared_ = 0; //!< Components with declared inputs.
     std::uint64_t dirty_ = ~std::uint64_t(0); //!< Stale wakeup caches.
     unsigned hostThreads_ = 0; //!< ParallelBsp pool cap (0 = auto).
+    unsigned superstepMax_ = 0; //!< Batch cap (0 = unbounded, 1 = off).
+    Tick batchLimit_ = maxTick; //!< Run-loop clamp seen by the batcher.
+    std::vector<std::uint64_t> pendingWorkerCost_; //!< Pre-pool stash.
+    std::uint64_t bspSupersteps_ = 0; //!< Fan-out/join rounds run.
+    std::uint64_t bspBatchedCycles_ = 0; //!< Extra cycles per round.
+    std::uint64_t bspHandshakes_ = 0; //!< Worker signal/ack round trips.
+    std::uint64_t bspStagedEvents_ = 0; //!< Cross-partition hand-offs.
     double watchdogSecs_ = 0; //!< Progress watchdog limit (0 = off).
     std::function<void()> watchdogReporter_; //!< Pre-abort dump hook.
     std::chrono::steady_clock::time_point watchdogStart_;
@@ -919,6 +1029,14 @@ Clocked::pokeWakeup(const Clocked &other)
 
 inline bool
 Clocked::bspStagingActive() const
+{
+    return system_ != nullptr && system_->inBspEvaluate() &&
+        detail::bspActivePartition !=
+            system_->densePartitionOf(sysIndex_);
+}
+
+inline bool
+Clocked::bspEvaluatePhase() const
 {
     return system_ != nullptr && system_->inBspEvaluate();
 }

@@ -17,6 +17,8 @@ namespace hwgc
 namespace detail
 {
 thread_local std::uint64_t *bspPokeMask = nullptr;
+thread_local unsigned bspActivePartition = ~0u;
+thread_local std::uint64_t bspStagedEvents = 0;
 } // namespace detail
 
 // Out of line so ~unique_ptr<ParallelKernel> sees the complete type.
@@ -68,8 +70,15 @@ ParallelKernel::ParallelKernel(System &sys) : sys_(sys)
     }
     partComps_.resize(dense.size());
     partMask_.resize(dense.size(), 0);
+    // Publish the normalized labels on the System: the staging
+    // predicate (Clocked::bspStagingActive) compares a component's
+    // label against detail::bspActivePartition on every cross-call.
+    // Filled here, before any worker thread exists, so the workers
+    // only ever read it.
+    sys.densePart_.assign(comps.size(), 0);
     for (std::size_t i = 0; i < comps.size(); ++i) {
         const unsigned p = dense[sys.part_[i]];
+        sys.densePart_[i] = p;
         partComps_[p].push_back(i);
         partMask_[p] |= std::uint64_t(1) << i;
     }
@@ -115,6 +124,16 @@ ParallelKernel::ParallelKernel(System &sys) : sys_(sys)
     dirtyLocal_.assign(partComps_.size(), 0);
     pass_.assign(partComps_.size(), Pass{});
     workerWork_.assign(numWorkers_, 0);
+    partWorker_.resize(partComps_.size());
+    for (unsigned p = 0; p < partComps_.size(); ++p) {
+        partWorker_[p] = p % numWorkers_;
+    }
+    if (!sys.pendingWorkerCost_.empty()) {
+        // A cost-model rebalance requested before the pool existed
+        // (e.g. restored profile data): apply it now.
+        rebalance(sys.pendingWorkerCost_);
+        sys.pendingWorkerCost_.clear();
+    }
 
     slots_.reserve(numWorkers_);
     for (unsigned w = 0; w < numWorkers_; ++w) {
@@ -219,7 +238,9 @@ ParallelKernel::runPartition(unsigned p)
     Pass out;
     std::uint64_t local = dirtyLocal_[p];
     std::uint64_t due = dueLocal_[p];
+    const std::uint64_t staged0 = detail::bspStagedEvents;
     detail::bspPokeMask = &local;
+    detail::bspActivePartition = p;
     for (const std::size_t i : partComps_[p]) {
         const std::uint64_t bit = std::uint64_t(1) << i;
         Tick w;
@@ -246,8 +267,56 @@ ParallelKernel::runPartition(unsigned p)
         }
     }
     detail::bspPokeMask = nullptr;
+    detail::bspActivePartition = ~0u;
     out.newDirty = local;
+    out.stagedEvents = detail::bspStagedEvents - staged0;
     return out;
+}
+
+void
+ParallelKernel::rebalance(const std::vector<std::uint64_t> &busy)
+{
+    std::vector<std::uint64_t> cost(partComps_.size(), 0);
+    for (unsigned p = 0; p < partComps_.size(); ++p) {
+        for (const std::size_t i : partComps_[p]) {
+            if (i < busy.size()) {
+                cost[p] += busy[i];
+            }
+        }
+    }
+    // Greedy LPT: heaviest partition first onto the least-loaded
+    // worker. Ties break by partition index, so the assignment is a
+    // deterministic function of the measured costs.
+    std::vector<unsigned> order(partComps_.size());
+    for (unsigned p = 0; p < order.size(); ++p) {
+        order[p] = p;
+    }
+    std::sort(order.begin(), order.end(),
+              [&](unsigned a, unsigned b) {
+                  return cost[a] != cost[b] ? cost[a] > cost[b] : a < b;
+              });
+    std::vector<std::uint64_t> load(numWorkers_, 0);
+    for (const unsigned p : order) {
+        unsigned best = 0;
+        for (unsigned w = 1; w < numWorkers_; ++w) {
+            if (load[w] < load[best]) {
+                best = w;
+            }
+        }
+        partWorker_[p] = best;
+        load[best] += cost[p];
+    }
+}
+
+void
+System::rebalancePartitionWorkers(
+    const std::vector<std::uint64_t> &busy_per_component)
+{
+    if (bsp_ == nullptr) {
+        pendingWorkerCost_ = busy_per_component;
+        return;
+    }
+    bsp_->rebalance(busy_per_component);
 }
 
 void
@@ -270,7 +339,7 @@ ParallelKernel::evaluate(std::uint64_t dispatch)
     while (work != 0) {
         const unsigned p = unsigned(__builtin_ctzll(work));
         work &= work - 1;
-        workerWork_[p % numWorkers_] |= std::uint64_t(1) << p;
+        workerWork_[partWorker_[p]] |= std::uint64_t(1) << p;
     }
     bool remote = false;
     for (unsigned w = 1; w < numWorkers_; ++w) {
@@ -292,6 +361,7 @@ ParallelKernel::evaluate(std::uint64_t dispatch)
             Slot &s = *slots_[w];
             s.work = workerWork_[w];
             signal(s);
+            ++sys_.bspHandshakes_;
         }
     }
     work = workerWork_[0];
@@ -350,23 +420,144 @@ System::executeCycleBsp()
         }
     }
 
+    ++bspSupersteps_;
     bspEvaluate_ = true;
     k.evaluate(dispatch);
     bspEvaluate_ = false;
 
     std::uint64_t tickedMask = 0;
     Tick next = maxTick;
+    std::uint64_t staged = 0;
     for (unsigned p = 0; p < numParts; ++p) {
         if ((dispatch & (std::uint64_t(1) << p)) != 0) {
             tickedMask |= k.pass_[p].ticked;
             next = std::min(next, k.pass_[p].next);
             dirty_ |= k.pass_[p].newDirty;
+            staged += k.pass_[p].stagedEvents;
         } else {
             for (const std::size_t i : k.partComps_[p]) {
                 if (components_[i]->hasFastForward()) {
                     components_[i]->fastForward(now_, now_ + 1);
                 }
                 next = std::min(next, wake_[i]);
+            }
+        }
+    }
+    bspStagedEvents_ += staged;
+
+    // Multi-cycle superstep: a cycle whose evaluate staged no
+    // cross-partition traffic needed no commit round — every staging
+    // ring is empty and the replay would be a no-op. The wakeup data
+    // then proves the next cycle's dispatch set exactly (dirty bits,
+    // cached wakeups, the scheduled queue), so as long as cycles keep
+    // staging nothing, the kernel can run them inline on this (the
+    // commit) thread, one micro-cycle per iteration, without a
+    // fan-out/join handshake. The only cross-partition reads are of
+    // published snapshots, and the only live state a micro-cycle
+    // mutates belongs to the partitions it dispatched (cross-partition
+    // entry points stage, which would have ended the batch) — so
+    // republishing just the dispatched partitions at each micro-cycle
+    // boundary keeps every snapshot read exact. The first micro-cycle
+    // that stages ends the batch *at that cycle*, so its traffic
+    // commits on time; external schedule() entries and the caller's
+    // run limit clip the batch the same way. Bit-identity follows
+    // because every skipped commit was a no-op, every skipped publish
+    // is re-issued (partition-wise) before anyone reads it, and every
+    // executed micro-cycle is the normal dispatch pass verbatim.
+    // (evaluate() has joined all workers by now, so the inline loop
+    // below races nothing.)
+    if (dispatch != 0 && superstepMax_ != 1) {
+        Tick horizon = batchLimit_;
+        if (superstepMax_ != 0) {
+            const Tick cap = now_ + superstepMax_;
+            horizon = std::min(horizon, cap < now_ ? maxTick : cap);
+        }
+        std::uint64_t curDispatch = dispatch;
+        std::uint64_t curTicked = tickedMask;
+        bool batched = false;
+        while (staged == 0 && curTicked != 0 && now_ + 1 < horizon &&
+               (scheduled_.empty() ||
+                scheduled_.top().first > now_ + 1) &&
+               anyBusy()) {
+            // Close the current cycle without a handshake: publish
+            // the partitions that ran, notify, advance the clock.
+            for (unsigned p = 0; p < numParts; ++p) {
+                if ((curDispatch & (std::uint64_t(1) << p)) == 0) {
+                    continue;
+                }
+                for (const std::size_t i : k.partComps_[p]) {
+                    if (components_[i]->hasBspHooks()) {
+                        components_[i]->bspPublish();
+                    }
+                }
+            }
+            const Tick cycle = now_;
+            ++now_;
+            ++executedCycles_;
+            ++bspBatchedCycles_;
+            if (observer_ != nullptr) {
+                observer_->cycleExecuted(cycle, curTicked);
+            }
+            if (watchdogDue()) {
+                watchdogFireIfExpired();
+            }
+            // The micro-cycle's dispatch decision is the superstep
+            // decision minus collectDue(): the scheduled-queue guard
+            // above proves no external wakeup lands this cycle.
+            curDispatch = 0;
+            for (unsigned p = 0; p < numParts; ++p) {
+                const std::uint64_t m = k.partMask_[p];
+                bool go = (dirty_ & m) != 0 || (m & ~declared_) != 0;
+                if (!go) {
+                    for (const std::size_t i : k.partComps_[p]) {
+                        if (wake_[i] <= now_) {
+                            go = true;
+                            break;
+                        }
+                    }
+                }
+                if (go) {
+                    curDispatch |= std::uint64_t(1) << p;
+                    k.dueLocal_[p] = 0;
+                    k.dirtyLocal_[p] = dirty_ & m;
+                    dirty_ &= ~m;
+                }
+            }
+            curTicked = 0;
+            bspEvaluate_ = true;
+            for (unsigned p = 0; p < numParts; ++p) {
+                if ((curDispatch & (std::uint64_t(1) << p)) != 0) {
+                    k.pass_[p] = k.runPartition(p);
+                }
+            }
+            bspEvaluate_ = false;
+            for (unsigned p = 0; p < numParts; ++p) {
+                if ((curDispatch & (std::uint64_t(1) << p)) != 0) {
+                    curTicked |= k.pass_[p].ticked;
+                    dirty_ |= k.pass_[p].newDirty;
+                    staged += k.pass_[p].stagedEvents;
+                } else {
+                    for (const std::size_t i : k.partComps_[p]) {
+                        if (components_[i]->hasFastForward()) {
+                            components_[i]->fastForward(now_, now_ + 1);
+                        }
+                    }
+                }
+            }
+            bspStagedEvents_ += staged;
+            batched = true;
+        }
+        if (batched) {
+            tickedMask = curTicked;
+            next = maxTick;
+            for (unsigned p = 0; p < numParts; ++p) {
+                if ((curDispatch & (std::uint64_t(1) << p)) != 0) {
+                    next = std::min(next, k.pass_[p].next);
+                } else {
+                    for (const std::size_t i : k.partComps_[p]) {
+                        next = std::min(next, wake_[i]);
+                    }
+                }
             }
         }
     }

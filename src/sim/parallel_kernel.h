@@ -72,6 +72,8 @@ class ParallelKernel
         std::uint64_t ticked = 0;   //!< Members that ticked.
         std::uint64_t newDirty = 0; //!< Pokes + successor invalidations.
         Tick next = maxTick; //!< Min wakeup among non-due members.
+        std::uint64_t stagedEvents = 0; //!< Cross-partition hand-offs
+                                        //!< staged during the pass.
     };
 
     /**
@@ -106,6 +108,15 @@ class ParallelKernel
     /** The event kernel's at-turn pass over one partition. */
     Pass runPartition(unsigned p);
 
+    /**
+     * Reassigns partitions to workers by a greedy LPT bin-pack over
+     * @p busy_per_component (indexed by registration order): the
+     * heaviest partition goes to the least-loaded worker, ties broken
+     * by partition index so the schedule is deterministic. Host-only;
+     * see System::rebalancePartitionWorkers.
+     */
+    void rebalance(const std::vector<std::uint64_t> &busy_per_component);
+
     void workerLoop(unsigned slot);
     void signal(Slot &s);
     void awaitAck(Slot &s);
@@ -126,6 +137,9 @@ class ParallelKernel
     std::vector<std::vector<std::size_t>> partComps_;
     /** Component bitmask per partition. */
     std::vector<std::uint64_t> partMask_;
+    /** Worker slot evaluating each partition (default p mod workers;
+     *  rewritten by the cost-model rebalance). */
+    std::vector<unsigned> partWorker_;
 
     /** Per-partition evaluate inputs, seeded by the commit thread. */
     std::vector<std::uint64_t> dueLocal_;

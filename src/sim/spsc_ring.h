@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A fixed-capacity single-producer/single-consumer ring for the
+ * ParallelBsp staging paths (DESIGN.md §8).
+ *
+ * Every inter-partition hand-off staged during a parallel evaluate
+ * phase has exactly one producer (the component whose tick or entry
+ * point stages the item, running on one worker thread) and exactly
+ * one consumer (the commit thread, which replays at bspCommit after
+ * the evaluate join). The ring therefore needs no locks: an
+ * acquire/release head/tail pair is enough, and the slots themselves
+ * are plain storage handed off by the release store.
+ *
+ * Capacity is fixed at construction (rounded up to a power of two)
+ * and sized from the config's queue bounds, so a full ring is a
+ * logic error — push() returns false and the call site panics with
+ * the ring's name rather than silently dropping traffic.
+ */
+
+#ifndef HWGC_SIM_SPSC_RING_H
+#define HWGC_SIM_SPSC_RING_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.h"
+
+namespace hwgc
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity = 0) { reserve(capacity); }
+
+    /** (Re)sizes the ring; only legal while empty. */
+    void
+    reserve(std::size_t capacity)
+    {
+        panic_if(!empty(), "SpscRing resized while non-empty");
+        std::size_t cap = 1;
+        while (cap < capacity) {
+            cap <<= 1;
+        }
+        slots_.assign(cap, T{});
+        mask_ = std::uint32_t(cap - 1);
+        head_.store(0, std::memory_order_relaxed);
+        tail_.store(0, std::memory_order_relaxed);
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Producer side: false when full (caller panics). */
+    bool
+    push(const T &item)
+    {
+        const std::uint32_t tail = tail_.load(std::memory_order_relaxed);
+        const std::uint32_t head =
+            head_.load(std::memory_order_acquire);
+        if (tail - head >= slots_.size()) {
+            return false;
+        }
+        slots_[tail & mask_] = item;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: false when empty. */
+    bool
+    pop(T &out)
+    {
+        const std::uint32_t head = head_.load(std::memory_order_relaxed);
+        const std::uint32_t tail =
+            tail_.load(std::memory_order_acquire);
+        if (head == tail) {
+            return false;
+        }
+        out = slots_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Occupancy as the consumer (or any quiesced thread) sees it.
+     * Exact once the producers have joined — which is the only time
+     * the commit thread reads it.
+     */
+    std::size_t
+    size() const
+    {
+        return tail_.load(std::memory_order_acquire) -
+               head_.load(std::memory_order_acquire);
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::vector<T> slots_;
+    std::uint32_t mask_ = 0;
+    // The indices live on separate cache lines so the producing
+    // worker and the consuming commit thread never false-share.
+    alignas(64) std::atomic<std::uint32_t> head_{0};
+    alignas(64) std::atomic<std::uint32_t> tail_{0};
+};
+
+} // namespace hwgc
+
+#endif // HWGC_SIM_SPSC_RING_H

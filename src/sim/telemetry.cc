@@ -252,12 +252,19 @@ applyEnv()
         opts.statsInterval = parseU64Option(v, "HWGC_STATS_INTERVAL",
                                             opts.statsInterval);
     }
+    if (const char *v = std::getenv("HWGC_KERNEL")) {
+        opts.kernel = v;
+    }
     if (const char *v = std::getenv("HWGC_HOST_THREADS")) {
         opts.hostThreads =
             parseHostThreads(v, "HWGC_HOST_THREADS", opts.hostThreads);
     }
     if (const char *v = std::getenv("HWGC_HOST_PARTITION")) {
         opts.hostPartition = v;
+    }
+    if (const char *v = std::getenv("HWGC_SUPERSTEP_MAX")) {
+        opts.superstepMax = unsigned(parseU64Option(
+            v, "HWGC_SUPERSTEP_MAX", opts.superstepMax));
     }
     if (const char *v = std::getenv("HWGC_CHECKPOINT_IN")) {
         opts.checkpointIn = v;
@@ -304,12 +311,18 @@ parseArgs(int &argc, char **argv)
                                                 opts.statsInterval);
         } else if (const char *v = valueOf(argv[i], "--debug-flags=")) {
             Debug::parseFlagList(v);
+        } else if (const char *v = valueOf(argv[i], "--kernel=")) {
+            opts.kernel = v;
         } else if (const char *v = valueOf(argv[i], "--host-threads=")) {
             opts.hostThreads =
                 parseHostThreads(v, "--host-threads", opts.hostThreads);
         } else if (const char *v =
                        valueOf(argv[i], "--host-partition=")) {
             opts.hostPartition = v;
+        } else if (const char *v =
+                       valueOf(argv[i], "--superstep-max=")) {
+            opts.superstepMax = unsigned(parseU64Option(
+                v, "--superstep-max", opts.superstepMax));
         } else if (const char *v = valueOf(argv[i], "--checkpoint-in=")) {
             opts.checkpointIn = v;
         } else if (const char *v =

@@ -117,10 +117,27 @@ struct Options
     unsigned hostThreads = 0;
 
     /**
-     * ParallelBsp partition override, "name=P[,name=P...]" over
-     * registered component names (see HwgcConfig::hostPartition).
+     * Simulation kernel override: "", "dense", "event" or "parallel"
+     * (--kernel= / HWGC_KERNEL). "" keeps each driver's configured
+     * HwgcConfig::kernel. All three kernels are bit-identical in
+     * simulated cycles and statistics; this picks the host execution
+     * strategy for binaries whose config the user cannot reach
+     * (examples, benches).
+     */
+    std::string kernel;
+
+    /**
+     * ParallelBsp partition scheme: "", "fine", "cost" or
+     * "name=P[,name=P...]" (see HwgcConfig::hostPartition).
      */
     std::string hostPartition;
+
+    /**
+     * ParallelBsp superstep batch cap (see HwgcConfig::superstepMax).
+     * 0 leaves batches bounded only by the no-cross-edge proof; 1
+     * disables batching. Host-only knob.
+     */
+    unsigned superstepMax = 0;
 
     /**
      * Cycle-accounting profiler (DESIGN.md §10): every component

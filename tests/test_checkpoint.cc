@@ -155,10 +155,13 @@ finishRun(Rig &rig)
 }
 
 HwgcConfig
-withKernel(HwgcConfig config, KernelMode kernel, unsigned threads)
+withKernel(HwgcConfig config, KernelMode kernel, unsigned threads,
+           const char *partition = "", unsigned superstep_max = 0)
 {
     config.kernel = kernel;
     config.hostThreads = threads;
+    config.hostPartition = partition;
+    config.superstepMax = superstep_max;
     return config;
 }
 
@@ -281,6 +284,65 @@ TEST(Checkpoint, MidMarkRoundTripSpillPressure)
     HwgcConfig config;
     config.markQueueEntries = 32; // Force the spill path.
     expectMidMarkRoundTrip(config, false);
+}
+
+/**
+ * A checkpoint cycle that lands inside what the batcher would run as
+ * one multi-cycle superstep: the run limit must clip the batch at
+ * exactly the arming cycle (not at the batch boundary), the written
+ * file must match the uninterrupted reference, and a restore under a
+ * different partition scheme with batching still on must converge to
+ * the same final state.
+ */
+TEST(Checkpoint, MidSuperstepRoundTrip)
+{
+    const auto graph = testGraph(23);
+    const HwgcConfig config;
+
+    const FinalState ref = scopedRun(
+        graph, withKernel(config, KernelMode::Dense, 0),
+        runtime::Layout::Bidirectional, [](Rig &) {});
+    ASSERT_GT(ref.markCycles, 200u);
+    const Tick at = ref.markCycles / 2;
+    const std::string path = tmpPath("midsuperstep.ckpt");
+
+    {
+        SCOPED_TRACE("save mid-superstep (fine partitions, unbounded "
+                     "batching)");
+        telemetry::StatsRegistry::global().clearRetired();
+        FinalState run;
+        std::uint64_t batched = 0;
+        {
+            Rig writer(graph,
+                       withKernel(config, KernelMode::ParallelBsp, 2,
+                                  "fine", 0),
+                       runtime::Layout::Bidirectional);
+            writer.device->armCheckpoint(path, at);
+            run = finishRun(writer);
+            batched = writer.device->system().bspBatchedCycles();
+        }
+        EXPECT_GT(batched, 0u)
+            << "batching never engaged; the checkpoint was not "
+               "mid-superstep";
+        EXPECT_EQ(ref.now, run.now);
+        EXPECT_EQ(ref.markCycles, run.markCycles);
+        EXPECT_EQ(ref.marked, run.marked);
+        EXPECT_EQ(ref.freed, run.freed);
+        expectSameStatsJson(ref.statsJson, run.statsJson);
+    }
+    {
+        SCOPED_TRACE("restore under cost partitions");
+        const FinalState run = scopedRun(
+            graph,
+            withKernel(config, KernelMode::ParallelBsp, 4, "cost", 0),
+            runtime::Layout::Bidirectional, [&](Rig &reader) {
+                reader.device->restoreCheckpoint(path);
+                EXPECT_EQ(reader.device->system().now(), at);
+            });
+        EXPECT_EQ(ref.now, run.now);
+        EXPECT_EQ(ref.freed, run.freed);
+        expectSameStatsJson(ref.statsJson, run.statsJson);
+    }
 }
 
 // ---------------------------------------------------------------------

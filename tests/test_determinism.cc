@@ -6,9 +6,10 @@
  * every number in EXPERIMENTS.md reproducible.
  *
  * The KernelMatrix suite is the strongest form of that contract: the
- * {dense, event, parallel×{1,2,4,7 threads}} kernel matrix must agree
- * bit for bit on every modeled configuration — final cycle counts,
- * the full stats-JSON export, and the mark/sweep oracles.
+ * {dense, event, parallel×{1,2,4,7 threads}×{affinity, fine, cost
+ * partitions}×{superstep batching on/off/capped}} kernel matrix must
+ * agree bit for bit on every modeled configuration — final cycle
+ * counts, the full stats-JSON export, and the mark/sweep oracles.
  */
 
 #include <gtest/gtest.h>
@@ -17,6 +18,7 @@
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "driver/fleet.h"
 #include "driver/gc_lab.h"
@@ -144,10 +146,13 @@ struct MatrixResult
 };
 
 MatrixResult
-matrixRun(core::HwgcConfig config, KernelMode kernel, unsigned threads)
+matrixRun(core::HwgcConfig config, KernelMode kernel, unsigned threads,
+          const char *partition = "", unsigned superstep_max = 0)
 {
     config.kernel = kernel;
     config.hostThreads = threads;
+    config.hostPartition = partition;
+    config.superstepMax = superstep_max;
     driver::LabConfig lab_config;
     lab_config.runSw = false;
     lab_config.verify = true; // Oracle-checks marks and the swept heap.
@@ -201,20 +206,34 @@ expectKernelMatrixAgrees(const core::HwgcConfig &config)
         const char *name;
         KernelMode kernel;
         unsigned threads;
+        const char *partition;
+        unsigned superstepMax;
     };
     // Odd and oversubscribed thread counts are deliberate: the
     // partition→worker mapping and the worker clamp must not be able
-    // to affect results.
+    // to affect results. Partition schemes and superstep caps are
+    // host-only knobs and must be equally invisible: "fine" maximizes
+    // cross-partition staging, "cost" adds the mid-run worker
+    // re-pack, superstepMax 1 disables batching while 0 leaves it
+    // bounded only by the no-cross-edge proof.
     static constexpr Case cases[] = {
-        {"event", KernelMode::Event, 0},
-        {"parallel-1", KernelMode::ParallelBsp, 1},
-        {"parallel-2", KernelMode::ParallelBsp, 2},
-        {"parallel-4", KernelMode::ParallelBsp, 4},
-        {"parallel-7", KernelMode::ParallelBsp, 7},
+        {"event", KernelMode::Event, 0, "", 0},
+        {"parallel-1", KernelMode::ParallelBsp, 1, "", 0},
+        {"parallel-2", KernelMode::ParallelBsp, 2, "", 0},
+        {"parallel-4", KernelMode::ParallelBsp, 4, "", 0},
+        {"parallel-7", KernelMode::ParallelBsp, 7, "", 0},
+        {"parallel-4-fine", KernelMode::ParallelBsp, 4, "fine", 0},
+        {"parallel-4-cost", KernelMode::ParallelBsp, 4, "cost", 0},
+        {"parallel-7-cost", KernelMode::ParallelBsp, 7, "cost", 0},
+        {"parallel-2-fine-nobatch", KernelMode::ParallelBsp, 2, "fine",
+         1},
+        {"parallel-3-cost-batch16", KernelMode::ParallelBsp, 3, "cost",
+         16},
     };
     for (const auto &c : cases) {
         SCOPED_TRACE(c.name);
-        const auto run = matrixRun(config, c.kernel, c.threads);
+        const auto run = matrixRun(config, c.kernel, c.threads,
+                                   c.partition, c.superstepMax);
         EXPECT_EQ(ref.hwMark, run.hwMark);
         EXPECT_EQ(ref.hwSweep, run.hwSweep);
         EXPECT_EQ(ref.marked, run.marked);
@@ -261,6 +280,40 @@ TEST(KernelMatrix, TibLayout)
     core::HwgcConfig config;
     config.layout = runtime::Layout::Tib;
     expectKernelMatrixAgrees(config);
+}
+
+/**
+ * The bit-identity cases above would pass vacuously if the superstep
+ * batcher never engaged; this pins down that batches with K > 1
+ * actually happen (the kernel's deterministic host counters say so)
+ * and that superstepMax=1 really turns them off.
+ */
+TEST(KernelMatrix, SuperstepBatchingFires)
+{
+    const auto countersFor = [](unsigned superstep_max) {
+        core::HwgcConfig config;
+        config.kernel = KernelMode::ParallelBsp;
+        config.hostThreads = 2;
+        config.superstepMax = superstep_max;
+        driver::LabConfig lab_config;
+        lab_config.runSw = false;
+        lab_config.hwgc = config;
+        driver::GcLab lab(workload::smokeProfile(), lab_config);
+        lab.run();
+        System &sys = lab.device().system();
+        return std::pair<std::uint64_t, std::uint64_t>(
+            sys.bspSupersteps(), sys.bspBatchedCycles());
+    };
+
+    const auto batched = countersFor(0);
+    EXPECT_GT(batched.second, 0u)
+        << "the no-cross-edge proof never batched a single cycle";
+
+    const auto unbatched = countersFor(1);
+    EXPECT_EQ(unbatched.second, 0u);
+    // Every batched cycle is a fan-out/join round the capped run must
+    // pay for individually.
+    EXPECT_GT(unbatched.first, batched.first);
 }
 
 // ---------------------------------------------------------------------

@@ -121,7 +121,7 @@ struct SweeperRig
         job.entryVa = heap.blockTableEntryAddr(0);
         job.baseVa = heap.blocks()[0].base;
         job.cellBytes = heap.blocks()[0].cellBytes;
-        sweeper.assign(job);
+        sweeper.assign(job, 0);
         ASSERT_TRUE(device->system().runUntilIdle());
         ASSERT_TRUE(sweeper.drained());
     }

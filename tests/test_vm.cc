@@ -137,6 +137,7 @@ class PtwTest : public testing::Test
         ptw_ = std::make_unique<Ptw>("ptw", PtwParams{}, table_,
                                      makePort());
         bus_.setClientResponder(portId_, ptw_.get());
+        ptwPort_ = ptw_->registerRequester(nullptr, "test");
     }
 
     MemPort *
@@ -165,6 +166,7 @@ class PtwTest : public testing::Test
     std::unique_ptr<BusPort> port_;
     unsigned portId_ = 0;
     std::unique_ptr<Ptw> ptw_;
+    unsigned ptwPort_ = 0;
     Tick now_ = 0;
 };
 
@@ -172,7 +174,8 @@ TEST_F(PtwTest, WalkResolves)
 {
     bool done = false;
     Addr result = 0;
-    ptw_->requestWalk(0x4000'2abc, [&](bool valid, Addr, Addr pa, unsigned) {
+    ptw_->requestWalk(ptwPort_, 0x4000'2abc, now_,
+                      [&](bool valid, Addr, Addr pa, unsigned) {
         EXPECT_TRUE(valid);
         result = pa;
         done = true;
@@ -187,7 +190,8 @@ TEST_F(PtwTest, WalkResolves)
 TEST_F(PtwTest, UnmappedWalkReportsInvalid)
 {
     bool done = false;
-    ptw_->requestWalk(0x7000'0000, [&](bool valid, Addr, Addr, unsigned) {
+    ptw_->requestWalk(ptwPort_, 0x7000'0000, now_,
+                      [&](bool valid, Addr, Addr, unsigned) {
         EXPECT_FALSE(valid);
         done = true;
     });
@@ -198,12 +202,14 @@ TEST_F(PtwTest, UnmappedWalkReportsInvalid)
 TEST_F(PtwTest, L2TlbShortcutsRepeatWalks)
 {
     int walks_done = 0;
-    ptw_->requestWalk(0x4000'3000, [&](bool, Addr, Addr, unsigned) {
+    ptw_->requestWalk(ptwPort_, 0x4000'3000, now_,
+                      [&](bool, Addr, Addr, unsigned) {
         ++walks_done;
     });
     run(200);
     const auto pte_fetches = ptw_->pteFetches();
-    ptw_->requestWalk(0x4000'3008, [&](bool, Addr, Addr, unsigned) {
+    ptw_->requestWalk(ptwPort_, 0x4000'3008, now_,
+                      [&](bool, Addr, Addr, unsigned) {
         ++walks_done;
     });
     run(200);
@@ -217,10 +223,12 @@ TEST_F(PtwTest, WalksSerialize)
     // Two walks to distinct pages: the second completes after the
     // first (blocking walker).
     Tick first_done = 0, second_done = 0;
-    ptw_->requestWalk(0x4000'4000, [&](bool, Addr, Addr, unsigned) {
+    ptw_->requestWalk(ptwPort_, 0x4000'4000, now_,
+                      [&](bool, Addr, Addr, unsigned) {
         first_done = now_;
     });
-    ptw_->requestWalk(0x4000'5000, [&](bool, Addr, Addr, unsigned) {
+    ptw_->requestWalk(ptwPort_, 0x4000'5000, now_,
+                      [&](bool, Addr, Addr, unsigned) {
         second_done = now_;
     });
     run(500);
@@ -231,14 +239,15 @@ TEST_F(PtwTest, WalksSerialize)
 TEST_F(PtwTest, QueueCapacityIsEnforced)
 {
     unsigned accepted = 0;
-    while (ptw_->canRequest()) {
-        ptw_->requestWalk(0x4000'0000 + Addr(accepted) * pageBytes,
+    while (ptw_->canRequest(ptwPort_)) {
+        ptw_->requestWalk(ptwPort_,
+                          0x4000'0000 + Addr(accepted) * pageBytes, now_,
                           [](bool, Addr, Addr, unsigned) {});
         ++accepted;
     }
     EXPECT_EQ(accepted, PtwParams{}.queueDepth);
     run(5000);
-    EXPECT_TRUE(ptw_->canRequest());
+    EXPECT_TRUE(ptw_->canRequest(ptwPort_));
     EXPECT_FALSE(ptw_->busy());
 }
 
